@@ -1,0 +1,49 @@
+// Ablation B: context-assignment policy (paper Section IV-B2).
+//
+// The paper's three-criteria rule (empty queues first, then deadline-
+// meeting with shortest queue, then earliest finish) against round-robin,
+// random, and pure least-loaded assignment, across load levels.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workload/scenario.hpp"
+
+int main() {
+  using namespace sgprs;
+  using metrics::Table;
+
+  struct Variant {
+    std::string name;
+    rt::ContextAssignPolicy policy;
+  };
+  const Variant variants[] = {
+      {"paper (3 criteria)", rt::ContextAssignPolicy::kPaper},
+      {"round-robin", rt::ContextAssignPolicy::kRoundRobin},
+      {"random", rt::ContextAssignPolicy::kRandom},
+      {"least-loaded", rt::ContextAssignPolicy::kLeastLoaded},
+  };
+
+  std::cout << "Ablation B — context assignment policy (Scenario 1, os "
+               "1.5)\n";
+  for (int tasks : {20, 24, 28}) {
+    Table t({"policy", "total FPS", "DMR", "p99 lat (ms)", "migrations"});
+    for (const auto& v : variants) {
+      workload::ScenarioConfig cfg;
+      cfg.scheduler = workload::SchedulerKind::kSgprs;
+      cfg.num_contexts = 2;
+      cfg.oversubscription = 1.5;
+      cfg.num_tasks = tasks;
+      cfg.duration = common::SimTime::from_sec(2.0);
+      cfg.warmup = common::SimTime::from_sec(0.4);
+      cfg.sgprs.assign_policy = v.policy;
+      const auto r = workload::run_scenario(cfg);
+      t.add_row({v.name, Table::fmt(r.fps(), 0), Table::pct(r.dmr()),
+                 Table::fmt(r.aggregate.p99_latency_ms, 1),
+                 std::to_string(r.stage_migrations)});
+      std::cerr << "  " << tasks << " tasks / " << v.name << " done\n";
+    }
+    std::cout << "\n" << tasks << " tasks:\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

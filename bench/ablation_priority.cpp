@@ -1,0 +1,61 @@
+// Ablation A: the paper's two offline/online priority mechanisms.
+//
+//  * Two-level priority assignment (last stage high) vs all-low / all-high
+//    (Section IV-A1).
+//  * Medium-priority promotion of late chains on vs off (Section IV-B3).
+//
+// Run in the overload region (26 tasks, Scenario 1, os 1.5) where the
+// mechanisms matter.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workload/scenario.hpp"
+
+int main() {
+  using namespace sgprs;
+  using metrics::Table;
+
+  workload::ScenarioConfig base;
+  base.scheduler = workload::SchedulerKind::kSgprs;
+  base.num_contexts = 2;
+  base.oversubscription = 1.5;
+  base.num_tasks = 26;
+  base.duration = common::SimTime::from_sec(2.0);
+  base.warmup = common::SimTime::from_sec(0.4);
+
+  struct Variant {
+    std::string name;
+    rt::PriorityPolicy policy;
+    bool medium_boost;
+  };
+  const Variant variants[] = {
+      {"two-level + medium boost (paper)", rt::PriorityPolicy::kLastStageHigh,
+       true},
+      {"two-level, no medium boost", rt::PriorityPolicy::kLastStageHigh,
+       false},
+      {"all-low + medium boost", rt::PriorityPolicy::kAllLow, true},
+      {"all-low, no medium boost", rt::PriorityPolicy::kAllLow, false},
+      {"all-high (priority inflation)", rt::PriorityPolicy::kAllHigh, false},
+  };
+
+  Table t({"variant", "total FPS", "DMR", "p99 lat (ms)",
+           "medium promotions"});
+  for (const auto& v : variants) {
+    auto cfg = base;
+    cfg.priority_policy = v.policy;
+    cfg.sgprs.medium_boost = v.medium_boost;
+    const auto r = workload::run_scenario(cfg);
+    t.add_row({v.name, Table::fmt(r.fps(), 0), Table::pct(r.dmr()),
+               Table::fmt(r.aggregate.p99_latency_ms, 1),
+               std::to_string(r.medium_promotions)});
+    std::cerr << "  " << v.name << " done\n";
+  }
+
+  std::cout << "Ablation A — priority mechanisms (Scenario 1, os 1.5, 26 "
+               "tasks, overload)\n\n";
+  t.print(std::cout);
+  std::cout << "\nExpected: the paper combination minimizes DMR; all-high "
+               "collapses the distinction\nbetween final and intermediate "
+               "stages and hurts tail latency.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 1 reproduction: speedup gain per operation as a function of SM
+// count, measured in isolation, plus the ResNet18 end-to-end curve.
+//
+// Paper targets at 68 SMs: convolution 32x (best), max pooling 14x, every
+// other operation below 7x, ResNet18 overall "only 23x".
+#include <iostream>
+
+#include "dnn/builders.hpp"
+#include "dnn/profiler.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace sgprs;
+
+  const auto model = gpu::SpeedupModel::rtx2080ti();
+  const dnn::Profiler prof(gpu::rtx2080ti(), model,
+                           dnn::CostModel::calibrated());
+  const auto net = dnn::resnet18();
+
+  const int sm_points[] = {1, 2, 4, 8, 16, 23, 34, 45, 51, 60, 68};
+
+  std::vector<std::string> headers = {"#SMs"};
+  for (int i = 0; i < gpu::kOpClassCount; ++i) {
+    headers.push_back(gpu::kOpClassNames[i]);
+  }
+  headers.push_back("resnet18");
+
+  metrics::Table table(headers);
+  for (int sms : sm_points) {
+    std::vector<std::string> row = {std::to_string(sms)};
+    for (int i = 0; i < gpu::kOpClassCount; ++i) {
+      row.push_back(metrics::Table::fmt(
+          model.speedup(static_cast<gpu::OpClass>(i), sms), 2));
+    }
+    row.push_back(metrics::Table::fmt(prof.network_speedup(net, sms), 2));
+    table.add_row(row);
+  }
+
+  std::cout << "Fig. 1 — Speedup gain per operation when running in "
+               "isolation (simulated RTX 2080 Ti)\n\n";
+  table.print(std::cout);
+
+  std::cout << "\nPaper check at 68 SMs: conv 32x, maxpool 14x, others < "
+               "7x, ResNet18 ~23x.\n";
+  std::cout << "Measured: conv "
+            << metrics::Table::fmt(model.speedup(gpu::OpClass::kConv, 68), 1)
+            << "x, maxpool "
+            << metrics::Table::fmt(model.speedup(gpu::OpClass::kMaxPool, 68),
+                                   1)
+            << "x, resnet18 "
+            << metrics::Table::fmt(prof.network_speedup(net, 68), 1)
+            << "x.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Internal invariant checking.
+//
+// SGPRS_CHECK is always on (simulator correctness beats a few ns); failures
+// throw sgprs::common::CheckError so tests can assert on violated invariants
+// instead of aborting the whole test binary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sgprs::common {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace sgprs::common
+
+#define SGPRS_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::sgprs::common::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (0)
+
+#define SGPRS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream sgprs_os_;                                    \
+      sgprs_os_ << msg;                                                \
+      ::sgprs::common::check_failed(#expr, __FILE__, __LINE__,         \
+                                    sgprs_os_.str());                  \
+    }                                                                  \
+  } while (0)

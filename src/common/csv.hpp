@@ -1,0 +1,29 @@
+// Minimal CSV writer for benchmark/experiment output.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgprs::common {
+
+/// Writes RFC-4180-ish CSV rows to a stream the caller owns.
+/// Values containing commas, quotes, or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(std::initializer_list<std::string> names) {
+    row(std::vector<std::string>(names));
+  }
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace sgprs::common

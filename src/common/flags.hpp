@@ -1,0 +1,51 @@
+// Minimal command-line flag parsing for the CLI tool and examples.
+//
+// Supports --name=value, --name value, and bare --bool-flag. Unknown flags
+// are errors (typos should not silently become defaults). Positional
+// arguments are collected in order.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sgprs::common {
+
+class FlagParser {
+ public:
+  /// Registers a flag with a help line. Call before parse().
+  void define(const std::string& name, const std::string& help,
+              const std::string& default_value = "");
+  void define_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Formatted help text listing every defined flag.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace sgprs::common

@@ -1,0 +1,111 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace sgprs::common {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key() already emitted the separator.
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ << ',';
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ << '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SGPRS_CHECK(!need_comma_.empty());
+  need_comma_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ << '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SGPRS_CHECK(!need_comma_.empty());
+  need_comma_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  SGPRS_CHECK(!need_comma_.empty());
+  if (need_comma_.back()) out_ << ',';
+  need_comma_.back() = true;
+  out_ << '"' << escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace sgprs::common

@@ -1,0 +1,50 @@
+// Tiny streaming JSON writer, used for chrome://tracing trace export.
+//
+// Not a general serializer: just enough structure (objects, arrays, scalar
+// fields) to emit valid trace-event JSON without pulling in a dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgprs::common {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a named field inside an object (call before a begin_* or value).
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void pre_value();
+  std::ostream& out_;
+  // Tracks whether a separator comma is needed at each nesting level.
+  std::vector<bool> need_comma_{};
+  bool pending_key_ = false;
+};
+
+}  // namespace sgprs::common

@@ -1,0 +1,45 @@
+// Leveled logging with a process-global threshold.
+//
+// The simulator is deterministic, so logs are primarily a debugging aid;
+// benchmarks run with the threshold at Warn to keep output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sgprs::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+/// Emits one formatted line to stderr (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace sgprs::common
+
+#define SGPRS_LOG(level)                                       \
+  if (::sgprs::common::LogLevel::level <                       \
+      ::sgprs::common::log_threshold()) {                      \
+  } else                                                       \
+    ::sgprs::common::detail::LogMessage(                       \
+        ::sgprs::common::LogLevel::level)

@@ -1,0 +1,58 @@
+// Streaming and batch statistics used by the metrics layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sgprs::common {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch percentile estimator. Stores samples; quantile() sorts on demand.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Linear-interpolated quantile, q in [0,1]. Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// Raw samples (unsorted unless a quantile was queried). Used to pool
+  /// distributions across tasks.
+  const std::vector<double>& samples() const { return samples_; }
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace sgprs::common

@@ -1,0 +1,320 @@
+#include "dnn/builders.hpp"
+
+#include "common/check.hpp"
+
+namespace sgprs::dnn {
+
+NodeId NetworkBuilder::push(Layer l, std::vector<NodeId> preds) {
+  // Translate the "-1 == input" convention: input has no graph node.
+  std::vector<NodeId> real;
+  for (NodeId p : preds) {
+    if (p >= 0) real.push_back(p);
+  }
+  return net_.add(std::move(l), std::move(real));
+}
+
+TensorShape NetworkBuilder::shape_of(NodeId id) const {
+  if (id < 0) return input_;
+  return net_.layer(id).out_shape;
+}
+
+NodeId NetworkBuilder::conv(const std::string& name, int out_c, int kernel,
+                            int stride, int pad, NodeId from, int groups) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kConv;
+  l.flops = conv2d_flops(in, out_c, kernel, stride, pad, groups);
+  l.out_shape = {out_c, conv_out_dim(in.h, kernel, stride, pad),
+                 conv_out_dim(in.w, kernel, stride, pad)};
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::maxpool(const std::string& name, int kernel, int stride,
+                               int pad, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kMaxPool;
+  l.flops = pool_flops(in, kernel, stride, pad);
+  l.out_shape = {in.c, conv_out_dim(in.h, kernel, stride, pad),
+                 conv_out_dim(in.w, kernel, stride, pad)};
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::avgpool(const std::string& name, int kernel, int stride,
+                               int pad, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kAvgPool;
+  l.flops = pool_flops(in, kernel, stride, pad);
+  l.out_shape = {in.c, conv_out_dim(in.h, kernel, stride, pad),
+                 conv_out_dim(in.w, kernel, stride, pad)};
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::global_avgpool(const std::string& name, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kAvgPool;
+  l.flops = global_avgpool_flops(in);
+  l.out_shape = {in.c, 1, 1};
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::batchnorm(const std::string& name, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kBatchNorm;
+  l.flops = batchnorm_flops(in);
+  l.out_shape = in;
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::relu(const std::string& name, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kReLU;
+  l.flops = relu_flops(in);
+  l.out_shape = in;
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::add(const std::string& name, NodeId a, NodeId b) {
+  const TensorShape sa = shape_of(a);
+  SGPRS_CHECK_MSG(sa == shape_of(b), "residual add requires equal shapes");
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kAdd;
+  l.flops = add_flops(sa);
+  l.out_shape = sa;
+  return push(std::move(l), {a, b});
+}
+
+NodeId NetworkBuilder::linear(const std::string& name, int out_features,
+                              NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kLinear;
+  l.flops = linear_flops(static_cast<int>(in.elements()), out_features);
+  l.out_shape = {out_features, 1, 1};
+  return push(std::move(l), {from});
+}
+
+NodeId NetworkBuilder::softmax(const std::string& name, NodeId from) {
+  const TensorShape in = shape_of(from);
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kSoftmax;
+  l.flops = softmax_flops(static_cast<int>(in.elements()));
+  l.out_shape = in;
+  return push(std::move(l), {from});
+}
+
+namespace {
+
+/// One ResNet basic block (two 3x3 convs + skip). `down` halves the spatial
+/// size and doubles channels via a strided 1x1 projection on the skip path.
+NodeId basic_block(NetworkBuilder& b, const std::string& prefix, int out_c,
+                   bool down, NodeId in) {
+  const int stride = down ? 2 : 1;
+  NodeId x = b.conv(prefix + ".conv1", out_c, 3, stride, 1, in);
+  x = b.batchnorm(prefix + ".bn1", x);
+  x = b.relu(prefix + ".relu1", x);
+  x = b.conv(prefix + ".conv2", out_c, 3, 1, 1, x);
+  x = b.batchnorm(prefix + ".bn2", x);
+  NodeId skip = in;
+  if (down) {
+    skip = b.conv(prefix + ".downsample", out_c, 1, 2, 0, in);
+    skip = b.batchnorm(prefix + ".down_bn", skip);
+  }
+  x = b.add(prefix + ".add", x, skip);
+  return b.relu(prefix + ".relu2", x);
+}
+
+Network resnet_common(const std::string& name, int input_hw, int num_classes,
+                      const std::array<int, 4>& blocks_per_stage) {
+  NetworkBuilder b(name, TensorShape{3, input_hw, input_hw});
+  NodeId x = b.conv("conv1", 64, 7, 2, 3, -1);
+  x = b.batchnorm("bn1", x);
+  x = b.relu("relu1", x);
+  x = b.maxpool("maxpool", 3, 2, 1, x);
+  const std::array<int, 4> channels = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int blk = 0; blk < blocks_per_stage[stage]; ++blk) {
+      const bool down = stage > 0 && blk == 0;
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(blk);
+      x = basic_block(b, prefix, channels[stage], down, x);
+    }
+  }
+  x = b.global_avgpool("avgpool", x);
+  x = b.linear("fc", num_classes, x);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Network resnet18(int input_hw, int num_classes) {
+  return resnet_common("resnet18", input_hw, num_classes, {2, 2, 2, 2});
+}
+
+Network resnet34(int input_hw, int num_classes) {
+  return resnet_common("resnet34", input_hw, num_classes, {3, 4, 6, 3});
+}
+
+namespace {
+
+/// ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand (4x), with a
+/// projection skip on the first block of each stage.
+NodeId bottleneck_block(NetworkBuilder& b, const std::string& prefix,
+                        int mid_c, int stride, bool project, NodeId in) {
+  const int out_c = 4 * mid_c;
+  NodeId x = b.conv(prefix + ".conv1", mid_c, 1, 1, 0, in);
+  x = b.batchnorm(prefix + ".bn1", x);
+  x = b.relu(prefix + ".relu1", x);
+  x = b.conv(prefix + ".conv2", mid_c, 3, stride, 1, x);
+  x = b.batchnorm(prefix + ".bn2", x);
+  x = b.relu(prefix + ".relu2", x);
+  x = b.conv(prefix + ".conv3", out_c, 1, 1, 0, x);
+  x = b.batchnorm(prefix + ".bn3", x);
+  NodeId skip = in;
+  if (project) {
+    skip = b.conv(prefix + ".downsample", out_c, 1, stride, 0, in);
+    skip = b.batchnorm(prefix + ".down_bn", skip);
+  }
+  x = b.add(prefix + ".add", x, skip);
+  return b.relu(prefix + ".relu3", x);
+}
+
+}  // namespace
+
+Network resnet50(int input_hw, int num_classes) {
+  NetworkBuilder b("resnet50", TensorShape{3, input_hw, input_hw});
+  NodeId x = b.conv("conv1", 64, 7, 2, 3, -1);
+  x = b.batchnorm("bn1", x);
+  x = b.relu("relu1", x);
+  x = b.maxpool("maxpool", 3, 2, 1, x);
+  const std::array<int, 4> blocks = {3, 4, 6, 3};
+  const std::array<int, 4> mids = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int blk = 0; blk < blocks[stage]; ++blk) {
+      const int stride = (stage > 0 && blk == 0) ? 2 : 1;
+      const bool project = blk == 0;  // channel expansion on every stage 0
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(blk);
+      x = bottleneck_block(b, prefix, mids[stage], stride, project, x);
+    }
+  }
+  x = b.global_avgpool("avgpool", x);
+  x = b.linear("fc", num_classes, x);
+  return std::move(b).build();
+}
+
+Network alexnet(int input_hw, int num_classes) {
+  NetworkBuilder b("alexnet", TensorShape{3, input_hw, input_hw});
+  NodeId x = b.conv("conv1", 64, 11, 4, 2, -1);
+  x = b.relu("relu1", x);
+  x = b.maxpool("pool1", 3, 2, 0, x);
+  x = b.conv("conv2", 192, 5, 1, 2, x);
+  x = b.relu("relu2", x);
+  x = b.maxpool("pool2", 3, 2, 0, x);
+  x = b.conv("conv3", 384, 3, 1, 1, x);
+  x = b.relu("relu3", x);
+  x = b.conv("conv4", 256, 3, 1, 1, x);
+  x = b.relu("relu4", x);
+  x = b.conv("conv5", 256, 3, 1, 1, x);
+  x = b.relu("relu5", x);
+  x = b.maxpool("pool5", 3, 2, 0, x);
+  x = b.linear("fc1", 4096, x);
+  x = b.relu("fc1.relu", x);
+  x = b.linear("fc2", 4096, x);
+  x = b.relu("fc2.relu", x);
+  x = b.linear("fc3", num_classes, x);
+  return std::move(b).build();
+}
+
+Network vgg11(int input_hw, int num_classes) {
+  NetworkBuilder b("vgg11", TensorShape{3, input_hw, input_hw});
+  NodeId x = -1;
+  const int cfg[] = {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+  int conv_idx = 0;
+  int pool_idx = 0;
+  for (int v : cfg) {
+    if (v == -1) {
+      x = b.maxpool("pool" + std::to_string(pool_idx++), 2, 2, 0, x);
+    } else {
+      x = b.conv("conv" + std::to_string(conv_idx), v, 3, 1, 1, x);
+      x = b.relu("relu" + std::to_string(conv_idx), x);
+      ++conv_idx;
+    }
+  }
+  x = b.linear("fc1", 4096, x);
+  x = b.relu("fc1.relu", x);
+  x = b.linear("fc2", 4096, x);
+  x = b.relu("fc2.relu", x);
+  x = b.linear("fc3", num_classes, x);
+  return std::move(b).build();
+}
+
+Network mobilenet_like(int input_hw, int num_classes) {
+  NetworkBuilder b("mobilenet", TensorShape{3, input_hw, input_hw});
+  NodeId x = b.conv("conv0", 32, 3, 2, 1, -1);
+  x = b.batchnorm("bn0", x);
+  x = b.relu("relu0", x);
+  struct Ds {
+    int out_c;
+    int stride;
+  };
+  const Ds cfg[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                    {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                    {512, 1}, {1024, 2}, {1024, 1}};
+  int i = 0;
+  for (const auto& d : cfg) {
+    const std::string p = "ds" + std::to_string(i++);
+    const TensorShape in = b.shape_of(x);
+    x = b.conv(p + ".dw", in.c, 3, d.stride, 1, x, /*groups=*/in.c);
+    x = b.batchnorm(p + ".dw_bn", x);
+    x = b.relu(p + ".dw_relu", x);
+    x = b.conv(p + ".pw", d.out_c, 1, 1, 0, x);
+    x = b.batchnorm(p + ".pw_bn", x);
+    x = b.relu(p + ".pw_relu", x);
+  }
+  x = b.global_avgpool("avgpool", x);
+  x = b.linear("fc", num_classes, x);
+  return std::move(b).build();
+}
+
+Network lenet5(int num_classes) {
+  NetworkBuilder b("lenet5", TensorShape{1, 32, 32});
+  NodeId x = b.conv("conv1", 6, 5, 1, 0, -1);
+  x = b.relu("relu1", x);
+  x = b.avgpool("pool1", 2, 2, 0, x);
+  x = b.conv("conv2", 16, 5, 1, 0, x);
+  x = b.relu("relu2", x);
+  x = b.avgpool("pool2", 2, 2, 0, x);
+  x = b.linear("fc1", 120, x);
+  x = b.relu("relu3", x);
+  x = b.linear("fc2", 84, x);
+  x = b.relu("relu4", x);
+  x = b.linear("fc3", num_classes, x);
+  return std::move(b).build();
+}
+
+Network mlp3(int in_features, int hidden, int num_classes) {
+  NetworkBuilder b("mlp3", TensorShape{in_features, 1, 1});
+  NodeId x = b.linear("fc1", hidden, -1);
+  x = b.relu("relu1", x);
+  x = b.linear("fc2", hidden, x);
+  x = b.relu("relu2", x);
+  x = b.linear("fc3", num_classes, x);
+  x = b.softmax("softmax", x);
+  return std::move(b).build();
+}
+
+}  // namespace sgprs::dnn

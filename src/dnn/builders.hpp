@@ -1,0 +1,66 @@
+// Network builders for the benchmark DNNs.
+//
+// ResNet18 @ 224x224 is the paper's benchmark task; the others populate the
+// multi-tenant examples and tests with realistically varied layer mixes.
+#pragma once
+
+#include "dnn/network.hpp"
+
+namespace sgprs::dnn {
+
+/// Shape-tracking convenience wrapper around Network::add.
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(std::string name, TensorShape input)
+      : net_(std::move(name)), input_(input) {}
+
+  /// `from == -1` means "network input".
+  NodeId conv(const std::string& name, int out_c, int kernel, int stride,
+              int pad, NodeId from, int groups = 1);
+  NodeId maxpool(const std::string& name, int kernel, int stride, int pad,
+                 NodeId from);
+  NodeId avgpool(const std::string& name, int kernel, int stride, int pad,
+                 NodeId from);
+  NodeId global_avgpool(const std::string& name, NodeId from);
+  NodeId batchnorm(const std::string& name, NodeId from);
+  NodeId relu(const std::string& name, NodeId from);
+  NodeId add(const std::string& name, NodeId a, NodeId b);
+  NodeId linear(const std::string& name, int out_features, NodeId from);
+  NodeId softmax(const std::string& name, NodeId from);
+
+  TensorShape shape_of(NodeId id) const;
+  Network build() && { return std::move(net_); }
+  const Network& peek() const { return net_; }
+
+ private:
+  NodeId push(Layer l, std::vector<NodeId> preds);
+  Network net_;
+  TensorShape input_;
+};
+
+/// ResNet18, 224x224x3 input, 1000 classes (He et al., the paper benchmark).
+Network resnet18(int input_hw = 224, int num_classes = 1000);
+
+/// ResNet34, same input convention.
+Network resnet34(int input_hw = 224, int num_classes = 1000);
+
+/// ResNet50 with bottleneck blocks (1x1 -> 3x3 -> 1x1, 4x expansion).
+Network resnet50(int input_hw = 224, int num_classes = 1000);
+
+/// AlexNet (large early kernels + heavy FC tail — an interesting stress
+/// case for the partitioner because the FC layers scale poorly).
+Network alexnet(int input_hw = 224, int num_classes = 1000);
+
+/// VGG-11 (conv-heavy, no residuals — exercises linear-chain partitioning).
+Network vgg11(int input_hw = 224, int num_classes = 1000);
+
+/// MobileNetV1-style depthwise-separable net (many small kernels).
+Network mobilenet_like(int input_hw = 224, int num_classes = 1000);
+
+/// LeNet-5 on 32x32x1 (tiny task for mixed-criticality scenarios).
+Network lenet5(int num_classes = 10);
+
+/// Plain MLP: 3 linear+relu blocks (pathological: nothing scales well).
+Network mlp3(int in_features = 4096, int hidden = 2048, int num_classes = 100);
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,78 @@
+#include "dnn/layer.hpp"
+
+#include "common/check.hpp"
+#include "gpu/calibration.hpp"
+
+namespace sgprs::dnn {
+
+double conv2d_flops(const TensorShape& in, int out_c, int kernel, int stride,
+                    int pad, int groups) {
+  SGPRS_CHECK(groups >= 1 && in.c % groups == 0);
+  const int oh = conv_out_dim(in.h, kernel, stride, pad);
+  const int ow = conv_out_dim(in.w, kernel, stride, pad);
+  const double per_output = 2.0 * kernel * kernel *
+                            (static_cast<double>(in.c) / groups);
+  return per_output * out_c * oh * ow;
+}
+
+double depthwise_conv_flops(const TensorShape& in, int kernel, int stride,
+                            int pad) {
+  return conv2d_flops(in, in.c, kernel, stride, pad, in.c);
+}
+
+double pool_flops(const TensorShape& in, int kernel, int stride, int pad) {
+  const int oh = conv_out_dim(in.h, kernel, stride, pad);
+  const int ow = conv_out_dim(in.w, kernel, stride, pad);
+  return static_cast<double>(kernel) * kernel * in.c * oh * ow;
+}
+
+double global_avgpool_flops(const TensorShape& in) {
+  return static_cast<double>(in.elements());
+}
+
+double batchnorm_flops(const TensorShape& in) {
+  // Inference-time batchnorm folds to one multiply + one add per element.
+  return 2.0 * static_cast<double>(in.elements());
+}
+
+double relu_flops(const TensorShape& in) {
+  return static_cast<double>(in.elements());
+}
+
+double add_flops(const TensorShape& in) {
+  return static_cast<double>(in.elements());
+}
+
+double linear_flops(int in_features, int out_features) {
+  return 2.0 * static_cast<double>(in_features) * out_features;
+}
+
+double softmax_flops(int features) {
+  // exp + subtract-max + sum + divide, roughly 5 ops per element.
+  return 5.0 * static_cast<double>(features);
+}
+
+CostModel CostModel::calibrated() {
+  return CostModel{gpu::calibration::kGflopsPerSm,
+                   gpu::calibration::kLaunchOverheadSec};
+}
+
+double CostModel::work_seconds(const Layer& layer) const {
+  const double rate =
+      gflops_per_sm[static_cast<int>(layer.op)] * 1e9;  // FLOP/s on one SM
+  SGPRS_CHECK(rate > 0.0);
+  return layer.flops / rate;
+}
+
+gpu::KernelDesc CostModel::kernel_for(const Layer& layer,
+                                      std::uint64_t tag) const {
+  gpu::KernelDesc k;
+  k.op = layer.op;
+  k.work_sm_seconds = work_seconds(layer);
+  k.overhead_seconds = launch_overhead_sec;
+  k.tag = tag;
+  k.label = layer.name;
+  return k;
+}
+
+}  // namespace sgprs::dnn

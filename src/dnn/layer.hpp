@@ -1,0 +1,52 @@
+// Layers: op class + analytically derived FLOP counts.
+//
+// The simulator never computes tensor values; a layer is fully described by
+// its op class, its FLOPs (which set kernel work through the cost model) and
+// its output shape (which sets downstream layers' FLOPs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/shape.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/op_class.hpp"
+
+namespace sgprs::dnn {
+
+struct Layer {
+  std::string name;
+  gpu::OpClass op = gpu::OpClass::kOther;
+  double flops = 0.0;
+  TensorShape out_shape;
+};
+
+// --- FLOP formulas (multiply-accumulate counted as 2 FLOPs) ---
+
+double conv2d_flops(const TensorShape& in, int out_c, int kernel, int stride,
+                    int pad, int groups = 1);
+double depthwise_conv_flops(const TensorShape& in, int kernel, int stride,
+                            int pad);
+double pool_flops(const TensorShape& in, int kernel, int stride, int pad);
+double global_avgpool_flops(const TensorShape& in);
+double batchnorm_flops(const TensorShape& in);
+double relu_flops(const TensorShape& in);
+double add_flops(const TensorShape& in);
+double linear_flops(int in_features, int out_features);
+double softmax_flops(int features);
+
+/// Converts FLOPs into kernel work (1-SM seconds) using the calibrated
+/// per-op throughputs, and attaches the launch overhead.
+struct CostModel {
+  /// GFLOP/s per SM for each op class (defaults from gpu/calibration.hpp).
+  std::array<double, gpu::kOpClassCount> gflops_per_sm;
+  double launch_overhead_sec;
+
+  static CostModel calibrated();
+
+  gpu::KernelDesc kernel_for(const Layer& layer, std::uint64_t tag = 0) const;
+  /// 1-SM execution time for a layer, excluding launch overhead.
+  double work_seconds(const Layer& layer) const;
+};
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,53 @@
+#include "dnn/network.hpp"
+
+#include "common/check.hpp"
+
+namespace sgprs::dnn {
+
+NodeId Network::add(Layer layer, std::vector<NodeId> preds) {
+  const NodeId id = static_cast<NodeId>(layers_.size());
+  for (NodeId p : preds) {
+    SGPRS_CHECK_MSG(p >= 0 && p < id,
+                    "predecessor " << p << " of node " << id
+                                   << " must already exist");
+  }
+  layers_.push_back(std::move(layer));
+  preds_.push_back(std::move(preds));
+  succs_.emplace_back();
+  for (NodeId p : preds_.back()) succs_[p].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  std::vector<NodeId> order(layers_.size());
+  for (int i = 0; i < node_count(); ++i) order[i] = i;
+  return order;
+}
+
+std::vector<NodeId> Network::outputs() const {
+  std::vector<NodeId> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (succs_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+double Network::total_flops() const {
+  double total = 0.0;
+  for (const auto& l : layers_) total += l.flops;
+  return total;
+}
+
+bool Network::cut_allowed_after(int pos) const {
+  SGPRS_CHECK(pos >= 0 && pos < node_count());
+  if (pos == node_count() - 1) return false;  // nothing after the cut
+  // Every edge (u -> v) with u <= pos and v > pos must have u == pos.
+  for (NodeId u = 0; u < pos; ++u) {
+    for (NodeId v : succs_[u]) {
+      if (v > pos) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,49 @@
+// DAG representation of a DNN (paper Section II: each task is a DNN whose
+// nodes are stages/sub-tasks; we keep the finer layer DAG and derive stages
+// from it with the partitioner).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace sgprs::dnn {
+
+using NodeId = int;
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a layer whose inputs are `preds` (all must already exist, which
+  /// makes the graph acyclic by construction). Returns the new node id.
+  NodeId add(Layer layer, std::vector<NodeId> preds);
+
+  const std::string& name() const { return name_; }
+  int node_count() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(NodeId id) const { return layers_.at(id); }
+  const std::vector<NodeId>& preds(NodeId id) const { return preds_.at(id); }
+  const std::vector<NodeId>& succs(NodeId id) const { return succs_.at(id); }
+
+  /// Nodes in insertion order, which is a valid topological order.
+  std::vector<NodeId> topo_order() const;
+
+  /// Nodes with no successors (a well-formed inference net has exactly one).
+  std::vector<NodeId> outputs() const;
+
+  double total_flops() const;
+
+  /// True iff a partition cut is allowed immediately after topo position
+  /// `pos`: every edge leaving the prefix [0..pos] must originate at the
+  /// node at `pos` itself, so the suffix depends on a single tensor.
+  bool cut_allowed_after(int pos) const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::vector<NodeId>> succs_;
+};
+
+}  // namespace sgprs::dnn

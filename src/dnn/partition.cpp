@@ -1,0 +1,104 @@
+#include "dnn/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace sgprs::dnn {
+
+double stage_work_seconds(const Network& net, const CostModel& cost,
+                          const std::vector<NodeId>& stage) {
+  double total = 0.0;
+  for (NodeId id : stage) total += cost.work_seconds(net.layer(id));
+  return total;
+}
+
+std::vector<gpu::KernelDesc> stage_kernels(const Network& net,
+                                           const CostModel& cost,
+                                           const std::vector<NodeId>& stage,
+                                           std::uint64_t tag) {
+  std::vector<gpu::KernelDesc> out;
+  out.reserve(stage.size());
+  for (NodeId id : stage) out.push_back(cost.kernel_for(net.layer(id), tag));
+  return out;
+}
+
+StagePlan partition_into_stages(const Network& net, const CostModel& cost,
+                                int num_stages) {
+  SGPRS_CHECK(num_stages >= 1);
+  const int n = net.node_count();
+  SGPRS_CHECK(n >= 1);
+
+  // Legal cut positions (cut after topo index p) plus the implicit final
+  // boundary after the last node.
+  std::vector<int> cuts;
+  for (int p = 0; p < n - 1; ++p) {
+    if (net.cut_allowed_after(p)) cuts.push_back(p);
+  }
+
+  // Prefix work sums for O(1) segment work queries.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + cost.work_seconds(net.layer(i));
+  }
+  auto segment_work = [&](int lo, int hi) {  // nodes [lo, hi)
+    return prefix[hi] - prefix[lo];
+  };
+
+  const int k = std::min(num_stages, static_cast<int>(cuts.size()) + 1);
+
+  // Boundary positions: 0 (start), each chosen cut+1, n (end). DP over
+  // boundaries minimizing the bottleneck stage work.
+  // boundaries[i] for i in [0, cuts.size()+1]: candidate segment starts.
+  std::vector<int> starts = {0};
+  for (int c : cuts) starts.push_back(c + 1);
+  const int m = static_cast<int>(starts.size());  // candidate starts
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[j][i]: minimal bottleneck splitting nodes [starts[i], n) into j
+  // stages. choice[j][i]: next boundary index.
+  std::vector<std::vector<double>> best(
+      k + 1, std::vector<double>(m + 1, kInf));
+  std::vector<std::vector<int>> choice(k + 1, std::vector<int>(m + 1, -1));
+
+  for (int i = 0; i < m; ++i) best[1][i] = segment_work(starts[i], n);
+  for (int j = 2; j <= k; ++j) {
+    for (int i = 0; i < m; ++i) {
+      for (int nx = i + 1; nx < m; ++nx) {
+        const double head = segment_work(starts[i], starts[nx]);
+        if (head >= best[j][i]) continue;  // cannot improve the bottleneck
+        const double rest = best[j - 1][nx];
+        const double bottleneck = std::max(head, rest);
+        if (bottleneck < best[j][i]) {
+          best[j][i] = bottleneck;
+          choice[j][i] = nx;
+        }
+      }
+    }
+  }
+
+  // Walk the chosen boundaries from the start.
+  StagePlan plan;
+  int i = 0;
+  for (int j = k; j >= 1; --j) {
+    const int nx = (j == 1) ? m : choice[j][i];
+    const int lo = starts[i];
+    const int hi = (j == 1 || nx < 0) ? n : starts[nx];
+    std::vector<NodeId> stage;
+    for (int node = lo; node < hi; ++node) stage.push_back(node);
+    SGPRS_CHECK(!stage.empty());
+    plan.stages.push_back(std::move(stage));
+    if (j == 1 || nx < 0) break;
+    i = nx;
+  }
+  // If choice was -1 mid-way (fewer stages achievable), the last pushed
+  // stage already absorbed the tail.
+  int covered = 0;
+  for (const auto& s : plan.stages) covered += static_cast<int>(s.size());
+  SGPRS_CHECK_MSG(covered == n, "partition must cover every node exactly "
+                                    << covered << " vs " << n);
+  return plan;
+}
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,43 @@
+// Stage partitioner: splits a network DAG into sequential stages
+// (sub-tasks), the unit SGPRS schedules (paper Section IV: "dividing a
+// network into multiple stages to improve flexibility"; the evaluation uses
+// six stages).
+#pragma once
+
+#include <vector>
+
+#include "dnn/layer.hpp"
+#include "dnn/network.hpp"
+
+namespace sgprs::dnn {
+
+/// A stage: a contiguous run of nodes in topological order. Stages form a
+/// chain; stage s+1 consumes exactly the output of stage s (guaranteed by
+/// Network::cut_allowed_after).
+struct StagePlan {
+  /// stages[s] = node ids belonging to stage s, in execution order.
+  std::vector<std::vector<NodeId>> stages;
+
+  int stage_count() const { return static_cast<int>(stages.size()); }
+};
+
+/// Partitions `net` into exactly `num_stages` stages, minimizing the
+/// maximum per-stage 1-SM work (balanced stages make the proportional
+/// virtual-deadline split meaningful). Cuts are restricted to positions
+/// where the DAG narrows to a single tensor, so residual blocks are never
+/// torn apart. If fewer legal cuts exist than requested, the result has as
+/// many stages as achievable.
+StagePlan partition_into_stages(const Network& net, const CostModel& cost,
+                                int num_stages);
+
+/// Total 1-SM work of a stage (seconds, launch overheads excluded).
+double stage_work_seconds(const Network& net, const CostModel& cost,
+                          const std::vector<NodeId>& stage);
+
+/// Kernel batch for one stage in execution order.
+std::vector<gpu::KernelDesc> stage_kernels(const Network& net,
+                                           const CostModel& cost,
+                                           const std::vector<NodeId>& stage,
+                                           std::uint64_t tag = 0);
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,84 @@
+#include "dnn/profiler.hpp"
+
+#include "common/check.hpp"
+#include "gpu/executor.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::dnn {
+
+SimTime WcetTable::stage_at(int stage, int sms) const {
+  SGPRS_CHECK(stage >= 0 && stage < stage_count());
+  const auto& m = per_stage[stage];
+  auto it = m.find(sms);
+  SGPRS_CHECK_MSG(it != m.end(), "no WCET profiled for " << sms << " SMs");
+  return it->second;
+}
+
+SimTime WcetTable::total_at(int sms) const {
+  auto it = total.find(sms);
+  SGPRS_CHECK_MSG(it != total.end(), "no WCET profiled for " << sms << " SMs");
+  return it->second;
+}
+
+SimTime Profiler::layer_time(const Layer& layer, int sms) const {
+  SGPRS_CHECK(sms >= 1);
+  const double work = cost_.work_seconds(layer);
+  const double s = speedup_.speedup(layer.op, static_cast<double>(sms));
+  return SimTime::from_sec(cost_.launch_overhead_sec + work / s);
+}
+
+SimTime Profiler::stage_time(const Network& net,
+                             const std::vector<NodeId>& stage,
+                             int sms) const {
+  SimTime t = SimTime::zero();
+  for (NodeId id : stage) t += layer_time(net.layer(id), sms);
+  return t;
+}
+
+WcetTable Profiler::profile(const Network& net, const StagePlan& plan,
+                            const std::vector<int>& sm_sizes) const {
+  WcetTable table;
+  table.per_stage.resize(plan.stages.size());
+  for (int sms : sm_sizes) {
+    SimTime whole = SimTime::zero();
+    for (int s = 0; s < plan.stage_count(); ++s) {
+      const SimTime t = stage_time(net, plan.stages[s], sms);
+      table.per_stage[s][sms] = t;
+      whole += t;
+    }
+    table.total[sms] = whole;
+  }
+  return table;
+}
+
+SimTime Profiler::stage_time_simulated(const Network& net,
+                                       const std::vector<NodeId>& stage,
+                                       int sms) const {
+  sim::Engine engine;
+  gpu::SharingParams isolation;
+  isolation.interference_gamma = 0.0;
+  isolation.oversub_thrash_kappa = 0.0;
+  isolation.contention_exponent = 1.0;
+  gpu::Executor exec(engine, device_, speedup_, isolation);
+  const auto ctx = exec.create_context(sms);
+  const auto stream = exec.create_stream(ctx, gpu::StreamPriority::kHigh);
+  SimTime done = SimTime::zero();
+  exec.enqueue_batch(stream, stage_kernels(net, cost_, stage),
+                     [&done](SimTime t) { done = t; });
+  engine.run();
+  return done;
+}
+
+double Profiler::network_speedup(const Network& net, int sms) const {
+  const auto order = net.topo_order();
+  double t1 = 0.0;
+  double tm = 0.0;
+  for (NodeId id : order) {
+    const Layer& l = net.layer(id);
+    t1 += cost_.launch_overhead_sec + cost_.work_seconds(l);
+    tm += layer_time(l, sms).to_sec();
+  }
+  return t1 / tm;
+}
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,74 @@
+// Offline WCET profiler (paper Section IV-A2: "the WCETs of each task and
+// its stages are measured offline").
+//
+// Two modes, which must agree (a test locks this):
+//  * analytic  — closed-form stage time at m SMs from the cost/speedup model;
+//  * simulated — actually runs the stage's kernels through a fresh Executor
+//    with a single m-SM context and measures the elapsed simulation time,
+//    exactly like profiling on real hardware in isolation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dnn/network.hpp"
+#include "dnn/partition.hpp"
+#include "gpu/device.hpp"
+#include "gpu/sharing.hpp"
+#include "gpu/speedup.hpp"
+
+namespace sgprs::dnn {
+
+using common::SimTime;
+
+/// Per-stage WCETs of one task at every SM size in the context pool.
+struct WcetTable {
+  /// wcet[stage][sm_limit] = isolated stage execution time.
+  std::vector<std::map<int, SimTime>> per_stage;
+  /// Whole-network time at each SM size (sum over stages).
+  std::map<int, SimTime> total;
+
+  SimTime stage_at(int stage, int sms) const;
+  SimTime total_at(int sms) const;
+  int stage_count() const { return static_cast<int>(per_stage.size()); }
+};
+
+class Profiler {
+ public:
+  Profiler(gpu::DeviceSpec device, gpu::SpeedupModel speedup, CostModel cost)
+      : device_(std::move(device)),
+        speedup_(std::move(speedup)),
+        cost_(cost) {}
+
+  /// Isolated execution time of one layer at `sms` SMs (analytic).
+  SimTime layer_time(const Layer& layer, int sms) const;
+
+  /// Isolated execution time of a stage at `sms` SMs (analytic).
+  SimTime stage_time(const Network& net, const std::vector<NodeId>& stage,
+                     int sms) const;
+
+  /// Builds the WCET table for a partitioned task at the given SM sizes.
+  WcetTable profile(const Network& net, const StagePlan& plan,
+                    const std::vector<int>& sm_sizes) const;
+
+  /// Runs the stage through a real Executor in isolation and returns the
+  /// measured makespan. Used to validate the analytic path.
+  SimTime stage_time_simulated(const Network& net,
+                               const std::vector<NodeId>& stage,
+                               int sms) const;
+
+  /// End-to-end network speedup at `sms` vs one SM (reproduces Fig. 1's
+  /// "overall ResNet18" curve).
+  double network_speedup(const Network& net, int sms) const;
+
+  const CostModel& cost_model() const { return cost_; }
+  const gpu::SpeedupModel& speedup_model() const { return speedup_; }
+
+ private:
+  gpu::DeviceSpec device_;
+  gpu::SpeedupModel speedup_;
+  CostModel cost_;
+};
+
+}  // namespace sgprs::dnn

@@ -1,0 +1,38 @@
+// Tensor shapes for inference-time cost derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace sgprs::dnn {
+
+/// Activation shape (single image: channels x height x width). Batch size is
+/// 1 throughout — the paper schedules per-frame inference, not batches.
+struct TensorShape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  std::int64_t elements() const {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+
+  friend bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+inline std::string to_string(const TensorShape& s) {
+  return std::to_string(s.c) + "x" + std::to_string(s.h) + "x" +
+         std::to_string(s.w);
+}
+
+/// Output spatial size of a conv/pool with the usual formula.
+inline int conv_out_dim(int in, int kernel, int stride, int pad) {
+  SGPRS_CHECK(stride > 0);
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  SGPRS_CHECK_MSG(out > 0, "degenerate conv output dim");
+  return out;
+}
+
+}  // namespace sgprs::dnn

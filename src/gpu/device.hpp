@@ -1,0 +1,20 @@
+// Static description of the simulated GPU device.
+#pragma once
+
+#include <string>
+
+namespace sgprs::gpu {
+
+/// Immutable hardware description. The evaluation models an NVIDIA RTX 2080
+/// Ti (68 streaming multiprocessors), matching the paper's testbed.
+struct DeviceSpec {
+  std::string name = "RTX 2080 Ti (simulated)";
+  int total_sms = 68;
+  /// Maximum concurrent kernels the device will execute (hardware queue
+  /// limit; generous, the per-context stream limit binds first).
+  int max_concurrent_kernels = 128;
+};
+
+inline DeviceSpec rtx2080ti() { return DeviceSpec{}; }
+
+}  // namespace sgprs::gpu

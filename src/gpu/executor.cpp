@@ -1,0 +1,250 @@
+#include "gpu/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sgprs::gpu {
+namespace {
+
+// Work below this many 1-SM seconds counts as finished (guards against
+// floating-point residue after integer-nanosecond event rounding).
+constexpr double kWorkEpsilon = 1e-12;
+
+}  // namespace
+
+Executor::Executor(sim::Engine& engine, DeviceSpec device,
+                   SpeedupModel speedup, SharingParams sharing)
+    : engine_(engine),
+      device_(std::move(device)),
+      speedup_(std::move(speedup)),
+      sharing_(sharing),
+      last_update_(engine.now()) {}
+
+ContextId Executor::create_context(int sm_limit) {
+  SGPRS_CHECK_MSG(sm_limit > 0 && sm_limit <= device_.total_sms,
+                  "context SM limit must be in [1, total_sms]");
+  contexts_.push_back(Context{sm_limit});
+  return static_cast<ContextId>(contexts_.size() - 1);
+}
+
+StreamId Executor::create_stream(ContextId ctx, StreamPriority priority) {
+  SGPRS_CHECK(ctx >= 0 && ctx < context_count());
+  Stream s;
+  s.ctx = ctx;
+  s.priority = priority;
+  streams_.push_back(std::move(s));
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+int Executor::context_sm_limit(ContextId c) const {
+  SGPRS_CHECK(c >= 0 && c < context_count());
+  return contexts_[c].sm_limit;
+}
+
+ContextId Executor::stream_context(StreamId s) const {
+  SGPRS_CHECK(s >= 0 && s < stream_count());
+  return streams_[s].ctx;
+}
+
+StreamPriority Executor::stream_priority(StreamId s) const {
+  SGPRS_CHECK(s >= 0 && s < stream_count());
+  return streams_[s].priority;
+}
+
+std::size_t Executor::stream_queue_length(StreamId s) const {
+  SGPRS_CHECK(s >= 0 && s < stream_count());
+  return streams_[s].queue.size();
+}
+
+bool Executor::stream_busy(StreamId s) const {
+  SGPRS_CHECK(s >= 0 && s < stream_count());
+  return streams_[s].running != nullptr || !streams_[s].queue.empty();
+}
+
+int Executor::running_kernel_count() const { return running_count_; }
+
+int Executor::context_running_count(ContextId c) const {
+  SGPRS_CHECK(c >= 0 && c < context_count());
+  return contexts_[c].running_count;
+}
+
+double Executor::busy_sm_seconds() const {
+  // Up to date only as of last_update_; good enough for end-of-run stats.
+  return busy_sm_seconds_;
+}
+
+SimTime Executor::running_remaining(StreamId s) const {
+  SGPRS_CHECK(s >= 0 && s < stream_count());
+  const auto& run = streams_[s].running;
+  if (!run) return SimTime::max();
+  const double elapsed = (engine_.now() - last_update_).to_sec();
+  double rem_over = std::max(0.0, run->rem_overhead - elapsed);
+  double consumed = std::max(0.0, elapsed - run->rem_overhead);
+  double rem_work = std::max(0.0, run->rem_work - consumed * run->rate);
+  const double rate = run->rate > 0.0 ? run->rate : 1e-9;
+  return SimTime::from_sec(rem_over + rem_work / rate);
+}
+
+void Executor::enqueue(StreamId stream, KernelDesc kernel,
+                       CompletionFn on_done) {
+  SGPRS_CHECK(stream >= 0 && stream < stream_count());
+  SGPRS_CHECK(kernel.work_sm_seconds >= 0.0);
+  SGPRS_CHECK(kernel.overhead_seconds >= 0.0);
+  Stream& s = streams_[stream];
+  s.queue.push_back(Pending{std::move(kernel), std::move(on_done)});
+  if (!s.running) {
+    advance_progress();
+    start_next(stream);
+    reschedule();
+  }
+}
+
+void Executor::enqueue_batch(StreamId stream, std::vector<KernelDesc> kernels,
+                             CompletionFn on_all_done) {
+  SGPRS_CHECK_MSG(!kernels.empty(), "enqueue_batch requires >= 1 kernel");
+  const std::size_t last = kernels.size() - 1;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    enqueue(stream, std::move(kernels[i]),
+            i == last ? std::move(on_all_done) : CompletionFn{});
+  }
+}
+
+double Executor::priority_weight(StreamPriority p) const {
+  return p == StreamPriority::kHigh ? sharing_.high_priority_weight
+                                    : sharing_.low_priority_weight;
+}
+
+void Executor::advance_progress() {
+  const SimTime now = engine_.now();
+  const double elapsed = (now - last_update_).to_sec();
+  last_update_ = now;
+  if (elapsed <= 0.0 || running_count_ == 0) return;
+  for (auto& s : streams_) {
+    if (!s.running) continue;
+    Running& r = *s.running;
+    double dt = elapsed;
+    if (r.rem_overhead > 0.0) {
+      const double t = std::min(dt, r.rem_overhead);
+      r.rem_overhead -= t;
+      dt -= t;
+    }
+    if (dt > 0.0) {
+      const double done = std::min(r.rem_work, dt * r.rate);
+      r.rem_work -= done;
+      work_done_ += done;
+    }
+    busy_sm_seconds_ += elapsed * r.granted_sms;
+  }
+}
+
+void Executor::start_next(StreamId sid) {
+  Stream& s = streams_[sid];
+  SGPRS_CHECK(!s.running);
+  if (s.queue.empty()) return;
+  Pending p = std::move(s.queue.front());
+  s.queue.pop_front();
+  auto r = std::make_unique<Running>();
+  r->desc = std::move(p.desc);
+  r->on_done = std::move(p.on_done);
+  r->rem_overhead = r->desc.overhead_seconds;
+  r->rem_work = r->desc.work_sm_seconds;
+  s.running = std::move(r);
+  ++running_count_;
+  ++contexts_[s.ctx].running_count;
+  if (trace_) {
+    trace_->on_kernel_start(engine_.now(), s.ctx, sid, s.running->desc);
+  }
+}
+
+void Executor::reschedule() {
+  if (defer_depth_ > 0) {
+    needs_reschedule_ = true;
+    return;
+  }
+  // Collect running kernels into share requests.
+  std::vector<ShareRequest> reqs;
+  std::vector<StreamId> req_stream;
+  reqs.reserve(static_cast<std::size_t>(running_count_));
+  for (StreamId sid = 0; sid < stream_count(); ++sid) {
+    const Stream& s = streams_[sid];
+    if (!s.running) continue;
+    reqs.push_back(
+        ShareRequest{s.ctx, priority_weight(s.priority), s.running->desc.op});
+    req_stream.push_back(sid);
+  }
+
+  if (completion_event_ != sim::kInvalidEvent) {
+    engine_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  if (reqs.empty()) return;
+
+  std::vector<int> ctx_sms;
+  ctx_sms.reserve(contexts_.size());
+  for (const auto& c : contexts_) ctx_sms.push_back(c.sm_limit);
+
+  const auto grants =
+      compute_shares(speedup_, device_.total_sms, ctx_sms, reqs, sharing_);
+
+  double min_finish = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Running& r = *streams_[req_stream[i]].running;
+    r.rate = grants[i].rate;
+    r.granted_sms = grants[i].sms;
+    SGPRS_CHECK(r.rate > 0.0);
+    const double finish = r.rem_overhead + r.rem_work / r.rate;
+    min_finish = std::min(min_finish, finish);
+  }
+
+  // Round the completion up to the next nanosecond so the event never fires
+  // before the kernel's exact finish instant.
+  auto delta = SimTime::from_ns(
+      static_cast<std::int64_t>(std::ceil(min_finish * 1e9)));
+  completion_event_ = engine_.schedule_after(
+      std::max(delta, SimTime::from_ns(0)), [this] { on_completion_event(); });
+}
+
+void Executor::on_completion_event() {
+  completion_event_ = sim::kInvalidEvent;
+  advance_progress();
+
+  // Collect every kernel that has finished (several can tie).
+  std::vector<StreamId> finished;
+  for (StreamId sid = 0; sid < stream_count(); ++sid) {
+    Stream& s = streams_[sid];
+    if (s.running && s.running->rem_overhead <= 0.0 &&
+        s.running->rem_work <= kWorkEpsilon) {
+      finished.push_back(sid);
+    }
+  }
+  SGPRS_CHECK_MSG(!finished.empty(),
+                  "completion event fired with no finished kernel");
+
+  // Retire finished kernels and start successors before firing callbacks so
+  // that callbacks observe a consistent executor state.
+  std::vector<std::pair<CompletionFn, KernelDesc>> callbacks;
+  for (StreamId sid : finished) {
+    Stream& s = streams_[sid];
+    Running& r = *s.running;
+    work_done_ += r.rem_work;  // residue below epsilon
+    if (trace_) trace_->on_kernel_end(engine_.now(), s.ctx, sid, r.desc);
+    callbacks.emplace_back(std::move(r.on_done), std::move(r.desc));
+    s.running.reset();
+    --running_count_;
+    --contexts_[s.ctx].running_count;
+    start_next(sid);
+  }
+
+  ++defer_depth_;
+  const SimTime now = engine_.now();
+  for (auto& [fn, desc] : callbacks) {
+    if (fn) fn(now);
+  }
+  --defer_depth_;
+  needs_reschedule_ = false;
+  reschedule();
+}
+
+}  // namespace sgprs::gpu

@@ -1,0 +1,148 @@
+// Processor-sharing GPU executor (discrete-event).
+//
+// Owns contexts, streams and running kernels; integrates with sim::Engine.
+// Whenever the set of running kernels changes, all progress rates are
+// recomputed from the sharing model and the single pending completion event
+// is rescheduled. Kernels have two phases: a launch-overhead phase that
+// progresses at unit rate regardless of SMs, then a work phase progressing
+// at rate speedup(op, granted_sms) * contention factors.
+//
+// Streams are FIFO: at most one kernel of a stream runs at a time; the rest
+// wait in the stream's queue. This mirrors CUDA stream semantics and is what
+// the scheduler layers on top of (it submits one *stage* — a kernel batch —
+// per stream at a time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "gpu/device.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/sharing.hpp"
+#include "gpu/speedup.hpp"
+#include "gpu/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::gpu {
+
+using common::SimTime;
+
+using ContextId = int;
+using StreamId = int;
+
+enum class StreamPriority : std::uint8_t { kHigh = 0, kLow = 1 };
+
+/// Invoked in simulation time when a kernel (or batch) fully completes.
+using CompletionFn = std::function<void(SimTime)>;
+
+class Executor {
+ public:
+  Executor(sim::Engine& engine, DeviceSpec device, SpeedupModel speedup,
+           SharingParams sharing);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Creates a context limited to `sm_limit` SMs. The pool may be
+  /// over-subscribed: no check against the device total (that is the point).
+  ContextId create_context(int sm_limit);
+
+  /// Creates a stream in `ctx` with the given priority.
+  StreamId create_stream(ContextId ctx, StreamPriority priority);
+
+  /// Enqueues one kernel; `on_done` (optional) fires at completion.
+  void enqueue(StreamId stream, KernelDesc kernel, CompletionFn on_done);
+
+  /// Enqueues a batch in order; `on_all_done` fires when the last kernel
+  /// completes. The batch must be non-empty.
+  void enqueue_batch(StreamId stream, std::vector<KernelDesc> kernels,
+                     CompletionFn on_all_done);
+
+  // --- Introspection (used by schedulers and tests) ---
+  int context_count() const { return static_cast<int>(contexts_.size()); }
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+  int context_sm_limit(ContextId c) const;
+  ContextId stream_context(StreamId s) const;
+  StreamPriority stream_priority(StreamId s) const;
+  /// Kernels queued behind the running one (running kernel not counted).
+  std::size_t stream_queue_length(StreamId s) const;
+  bool stream_busy(StreamId s) const;
+  /// Number of kernels currently executing device-wide.
+  int running_kernel_count() const;
+  /// Number of kernels currently executing in a context.
+  int context_running_count(ContextId c) const;
+  /// Total 1-SM work completed so far (for utilization accounting).
+  double total_work_done() const { return work_done_; }
+  /// Integral over time of (granted SMs of running kernels), in SM-seconds.
+  double busy_sm_seconds() const;
+  /// Estimated remaining time of the kernel running on `s` at current rates
+  /// (SimTime::max() if the stream is idle). Queued kernels not included.
+  SimTime running_remaining(StreamId s) const;
+
+  const DeviceSpec& device() const { return device_; }
+  const SpeedupModel& speedup_model() const { return speedup_; }
+  const SharingParams& sharing_params() const { return sharing_; }
+  sim::Engine& engine() { return engine_; }
+
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+ private:
+  struct Running {
+    KernelDesc desc;
+    CompletionFn on_done;
+    double rem_overhead = 0.0;  // seconds at unit rate
+    double rem_work = 0.0;      // 1-SM seconds
+    double rate = 0.0;          // work per second at last reschedule
+    double granted_sms = 0.0;
+  };
+
+  struct Pending {
+    KernelDesc desc;
+    CompletionFn on_done;
+  };
+
+  struct Stream {
+    ContextId ctx;
+    StreamPriority priority;
+    std::deque<Pending> queue;
+    std::unique_ptr<Running> running;  // null when idle
+  };
+
+  struct Context {
+    int sm_limit;
+    int running_count = 0;
+  };
+
+  // Consumes elapsed time since the last update against stored rates.
+  void advance_progress();
+  // Recomputes all shares/rates and schedules the next completion event.
+  void reschedule();
+  void start_next(StreamId s);
+  void on_completion_event();
+  double priority_weight(StreamPriority p) const;
+
+  sim::Engine& engine_;
+  DeviceSpec device_;
+  SpeedupModel speedup_;
+  SharingParams sharing_;
+  TraceSink* trace_ = nullptr;
+
+  std::vector<Context> contexts_;
+  std::vector<Stream> streams_;
+
+  SimTime last_update_ = SimTime::zero();
+  sim::EventId completion_event_ = sim::kInvalidEvent;
+  double work_done_ = 0.0;
+  double busy_sm_seconds_ = 0.0;
+  int running_count_ = 0;
+  // Re-entrancy guard: completion callbacks may enqueue; defer rescheduling
+  // until the outermost mutation finishes.
+  int defer_depth_ = 0;
+  bool needs_reschedule_ = false;
+};
+
+}  // namespace sgprs::gpu

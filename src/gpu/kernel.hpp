@@ -1,0 +1,24 @@
+// Kernel descriptor: the unit of work submitted to a stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/op_class.hpp"
+
+namespace sgprs::gpu {
+
+/// A kernel launch. `work_sm_seconds` is the kernel's execution time when
+/// run on exactly one SM (so duration at m SMs is work / speedup(op, m)).
+/// `overhead_seconds` is the launch overhead, which never scales with SMs.
+struct KernelDesc {
+  OpClass op = OpClass::kOther;
+  double work_sm_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  /// Opaque caller cookie carried through to trace events (e.g. job id).
+  std::uint64_t tag = 0;
+  /// Debug label (layer name); not used by the executor itself.
+  std::string label;
+};
+
+}  // namespace sgprs::gpu

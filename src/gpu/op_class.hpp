@@ -1,0 +1,34 @@
+// Operation classes whose scaling behaviour the paper measures (Fig. 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sgprs::gpu {
+
+/// Kernel operation class. Each class has its own SM-speedup curve and its
+/// own per-SM throughput in the cost model.
+enum class OpClass : std::uint8_t {
+  kConv = 0,
+  kMaxPool,
+  kAvgPool,
+  kBatchNorm,
+  kReLU,
+  kLinear,
+  kAdd,
+  kSoftmax,
+  kOther,
+};
+
+inline constexpr int kOpClassCount = 9;
+
+inline constexpr std::array<const char*, kOpClassCount> kOpClassNames = {
+    "conv",  "maxpool", "avgpool", "batchnorm", "relu",
+    "linear", "add",    "softmax", "other",
+};
+
+inline const char* to_string(OpClass op) {
+  return kOpClassNames[static_cast<int>(op)];
+}
+
+}  // namespace sgprs::gpu

@@ -1,0 +1,70 @@
+#include "gpu/sharing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sgprs::gpu {
+
+std::vector<ShareGrant> compute_shares(const SpeedupModel& model,
+                                       int device_total_sms,
+                                       const std::vector<int>& context_sms,
+                                       const std::vector<ShareRequest>& reqs,
+                                       const SharingParams& params) {
+  SGPRS_CHECK(device_total_sms > 0);
+  std::vector<ShareGrant> grants(reqs.size());
+  if (reqs.empty()) return grants;
+
+  // Per-context total weight of active kernels.
+  std::vector<double> ctx_weight(context_sms.size(), 0.0);
+  std::vector<bool> ctx_active(context_sms.size(), false);
+  for (const auto& r : reqs) {
+    SGPRS_CHECK(r.context >= 0 &&
+                r.context < static_cast<int>(context_sms.size()));
+    SGPRS_CHECK(r.weight > 0.0);
+    ctx_weight[r.context] += r.weight;
+    ctx_active[r.context] = true;
+  }
+
+  // Layer 2: demand = sum of SM allocations of contexts with running work.
+  double demand = 0.0;
+  int active_contexts = 0;
+  for (std::size_t c = 0; c < context_sms.size(); ++c) {
+    if (ctx_active[c]) {
+      demand += static_cast<double>(context_sms[c]);
+      ++active_contexts;
+    }
+  }
+  const double total = static_cast<double>(device_total_sms);
+  SGPRS_CHECK(params.contention_exponent > 0.0 &&
+              params.contention_exponent <= 1.0);
+  const double contention =
+      demand > total ? std::pow(total / demand, params.contention_exponent)
+                     : 1.0;
+
+  // Layer 3: client-count interference.
+  const auto k = static_cast<double>(reqs.size());
+  double rate_factor =
+      contention / (1.0 + params.interference_gamma * (k - 1.0));
+
+  // Over-subscription thrash across contexts.
+  const double oversub = demand / total;
+  if (oversub > 1.0 && active_contexts > 1) {
+    rate_factor /= 1.0 + params.oversub_thrash_kappa *
+                             static_cast<double>(active_contexts - 1) *
+                             (oversub - 1.0);
+  }
+
+  // Layer 1: weighted space-share inside each context.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& r = reqs[i];
+    const double share = static_cast<double>(context_sms[r.context]) *
+                         r.weight / ctx_weight[r.context];
+    grants[i].sms = share;
+    grants[i].rate = model.speedup(r.op, share) * rate_factor;
+  }
+  return grants;
+}
+
+}  // namespace sgprs::gpu

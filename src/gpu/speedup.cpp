@@ -1,0 +1,33 @@
+#include "gpu/speedup.hpp"
+
+#include "common/check.hpp"
+#include "gpu/calibration.hpp"
+
+namespace sgprs::gpu {
+
+SpeedupModel::SpeedupModel(
+    const std::array<double, kOpClassCount>& speedup_at_ref, int reference_sms)
+    : reference_sms_(reference_sms) {
+  SGPRS_CHECK(reference_sms > 1);
+  for (int i = 0; i < kOpClassCount; ++i) {
+    const double s = speedup_at_ref[i];
+    SGPRS_CHECK_MSG(s >= 1.0 && s <= reference_sms,
+                    "speedup at reference must lie in [1, #SMs], got " << s);
+    // Solve 1/((1-f) + f/M) = s  =>  f = (1 - 1/s) / (1 - 1/M).
+    const double m = static_cast<double>(reference_sms);
+    f_[i] = (1.0 - 1.0 / s) / (1.0 - 1.0 / m);
+  }
+}
+
+SpeedupModel SpeedupModel::rtx2080ti() {
+  return SpeedupModel(calibration::kSpeedupAt68, calibration::kReferenceSms);
+}
+
+double SpeedupModel::speedup(OpClass op, double sms) const {
+  if (sms <= 0.0) return 0.0;
+  const double f = f_[static_cast<int>(op)];
+  if (sms < 1.0) return sms;  // fractional share of a single SM
+  return 1.0 / ((1.0 - f) + f / sms);
+}
+
+}  // namespace sgprs::gpu

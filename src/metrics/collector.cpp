@@ -1,0 +1,80 @@
+#include "metrics/collector.hpp"
+
+#include "common/check.hpp"
+
+namespace sgprs::metrics {
+
+void Collector::on_release(int task, SimTime release) {
+  if (!in_window(release)) return;
+  ++tasks_[task].counts.released;
+}
+
+void Collector::on_drop(int task, SimTime release) {
+  if (!in_window(release)) return;
+  ++tasks_[task].counts.dropped;
+}
+
+void Collector::on_complete(int task, SimTime release, SimTime deadline,
+                            SimTime now) {
+  if (!in_window(release)) return;
+  PerTask& pt = tasks_[task];
+  if (now <= deadline) {
+    ++pt.counts.on_time;
+  } else {
+    ++pt.counts.late;
+  }
+  const double lat_ms = (now - release).to_ms();
+  pt.latency_ms.add(lat_ms);
+  pt.latency_pct_ms.add(lat_ms);
+}
+
+Snapshot Collector::snapshot_of(const PerTask& pt, SimTime end) const {
+  SGPRS_CHECK_MSG(end > warmup_, "measurement window is empty");
+  const double window = (end - warmup_).to_sec();
+  Snapshot s;
+  s.counts = pt.counts;
+  s.fps = static_cast<double>(pt.counts.completed()) / window;
+  s.fps_on_time = static_cast<double>(pt.counts.on_time) / window;
+  const auto closed = pt.counts.closed();
+  s.dmr = closed == 0
+              ? 0.0
+              : static_cast<double>(pt.counts.late + pt.counts.dropped) /
+                    static_cast<double>(closed);
+  s.mean_latency_ms = pt.latency_ms.mean();
+  s.p50_latency_ms = pt.latency_pct_ms.p50();
+  s.p99_latency_ms = pt.latency_pct_ms.p99();
+  s.max_latency_ms = pt.latency_pct_ms.max();
+  return s;
+}
+
+Snapshot Collector::aggregate(SimTime end) const {
+  PerTask all;
+  for (const auto& [id, pt] : tasks_) {
+    (void)id;
+    all.counts.released += pt.counts.released;
+    all.counts.dropped += pt.counts.dropped;
+    all.counts.on_time += pt.counts.on_time;
+    all.counts.late += pt.counts.late;
+    all.latency_ms.merge(pt.latency_ms);
+    for (double x : pt.latency_pct_ms.samples()) all.latency_pct_ms.add(x);
+  }
+  return snapshot_of(all, end);
+}
+
+Snapshot Collector::per_task(int task, SimTime end) const {
+  auto it = tasks_.find(task);
+  SGPRS_CHECK_MSG(it != tasks_.end(), "unknown task " << task);
+  return snapshot_of(it->second, end);
+}
+
+std::vector<int> Collector::task_ids() const {
+  std::vector<int> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, pt] : tasks_) {
+    (void)pt;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace sgprs::metrics

@@ -1,0 +1,79 @@
+// Run-time metrics: the paper's two comparison metrics — total FPS and
+// Deadline Miss Rate (DMR) — plus latency distributions.
+//
+// Semantics (DESIGN.md §3.1):
+//  * Total FPS  = frames completed per second of measured (post-warm-up)
+//    simulated time, regardless of deadline. This is the only reading under
+//    which the naive scheduler's FPS *degrades gradually* past the pivot
+//    while its DMR explodes, as in Figs. 3/4.
+//  * DMR = (late completions + dropped releases) / closed jobs.
+//  * A job belongs to the measurement window iff its release time is at or
+//    after the warm-up boundary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace sgprs::metrics {
+
+using common::SimTime;
+
+struct TaskCounters {
+  std::int64_t released = 0;
+  std::int64_t dropped = 0;  // releases shed by the admission/drop policy
+  std::int64_t on_time = 0;
+  std::int64_t late = 0;
+
+  std::int64_t closed() const { return dropped + on_time + late; }
+  std::int64_t completed() const { return on_time + late; }
+};
+
+struct Snapshot {
+  TaskCounters counts;
+  double fps = 0.0;          // completed frames / measured second
+  double fps_on_time = 0.0;  // deadline-meeting frames / measured second
+  double dmr = 0.0;          // (late + dropped) / closed
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+};
+
+class Collector {
+ public:
+  /// Events for jobs released before `warmup` are ignored.
+  explicit Collector(SimTime warmup = SimTime::zero()) : warmup_(warmup) {}
+
+  void on_release(int task, SimTime release);
+  void on_drop(int task, SimTime release);
+  /// `release` identifies the job's window membership; `deadline` is the
+  /// job's absolute deadline; `now` is the completion instant.
+  void on_complete(int task, SimTime release, SimTime deadline, SimTime now);
+
+  /// Aggregate metrics over [warmup, end].
+  Snapshot aggregate(SimTime end) const;
+  /// Metrics for one task over [warmup, end].
+  Snapshot per_task(int task, SimTime end) const;
+  /// Ids of tasks that produced at least one event.
+  std::vector<int> task_ids() const;
+
+  SimTime warmup() const { return warmup_; }
+
+ private:
+  struct PerTask {
+    TaskCounters counts;
+    common::RunningStats latency_ms;
+    common::Percentiles latency_pct_ms;
+  };
+  bool in_window(SimTime release) const { return release >= warmup_; }
+  Snapshot snapshot_of(const PerTask& pt, SimTime end) const;
+
+  SimTime warmup_;
+  std::map<int, PerTask> tasks_;
+};
+
+}  // namespace sgprs::metrics

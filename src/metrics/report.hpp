@@ -1,0 +1,27 @@
+// Fixed-width table printer for benchmark output (the "rows the paper
+// reports"). Deliberately plain text so bench output diffs cleanly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgprs::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with aligned columns, a header underline, and 2-space gutters.
+  void print(std::ostream& out) const;
+
+  static std::string fmt(double v, int precision = 1);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgprs::metrics

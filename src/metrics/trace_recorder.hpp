@@ -1,0 +1,46 @@
+// Chrome-trace (about://tracing, Perfetto) recorder for kernel timelines.
+//
+// Pairs the executor's start/end callbacks into complete ("ph":"X") events:
+// pid = context, tid = stream, ts/dur in microseconds. Useful to eyeball a
+// schedule: one lane per stream, kernels labelled by layer name.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpu/trace.hpp"
+
+namespace sgprs::metrics {
+
+class TraceRecorder final : public gpu::TraceSink {
+ public:
+  void on_kernel_start(gpu::SimTime t, int context, int stream,
+                       const gpu::KernelDesc& k) override;
+  void on_kernel_end(gpu::SimTime t, int context, int stream,
+                     const gpu::KernelDesc& k) override;
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Writes the complete trace as chrome://tracing JSON.
+  void write_json(std::ostream& out) const;
+
+  /// Drops recorded events (keeps in-flight starts).
+  void clear() { events_.clear(); }
+
+ private:
+  struct Event {
+    std::string name;
+    int context;
+    int stream;
+    std::int64_t start_us;
+    std::int64_t dur_us;
+    std::uint64_t tag;
+  };
+  std::map<std::pair<int, int>, std::pair<gpu::SimTime, gpu::KernelDesc>>
+      open_;  // keyed by (context, stream): streams serialize kernels
+  std::vector<Event> events_;
+};
+
+}  // namespace sgprs::metrics

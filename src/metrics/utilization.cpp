@@ -1,0 +1,86 @@
+#include "metrics/utilization.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sgprs::metrics {
+
+void UtilizationTracker::CtxAccount::advance(gpu::SimTime now) {
+  if (now > last_change) {
+    segments.push_back(Segment{last_change, now, active});
+    last_change = now;
+  }
+}
+
+void UtilizationTracker::on_kernel_start(gpu::SimTime t, int context,
+                                         int /*stream*/,
+                                         const gpu::KernelDesc& /*k*/) {
+  auto& acc = ctx_[context];
+  acc.advance(t);
+  ++acc.active;
+}
+
+void UtilizationTracker::on_kernel_end(gpu::SimTime t, int context,
+                                       int /*stream*/,
+                                       const gpu::KernelDesc& /*k*/) {
+  auto it = ctx_.find(context);
+  SGPRS_CHECK_MSG(it != ctx_.end(), "kernel end for unseen context");
+  auto& acc = it->second;
+  acc.advance(t);
+  SGPRS_CHECK(acc.active > 0);
+  --acc.active;
+}
+
+std::pair<double, double> UtilizationTracker::integrate(const CtxAccount& acc,
+                                                        gpu::SimTime lo,
+                                                        gpu::SimTime hi) {
+  double busy = 0.0;
+  double kernels = 0.0;
+  auto add = [&](gpu::SimTime b, gpu::SimTime e, int active) {
+    const gpu::SimTime cb = std::max(b, lo);
+    const gpu::SimTime ce = std::min(e, hi);
+    if (ce <= cb) return;
+    const double dt = (ce - cb).to_sec();
+    if (active > 0) busy += dt;
+    kernels += dt * active;
+  };
+  for (const auto& s : acc.segments) add(s.begin, s.end, s.active);
+  // Open tail: activity since the last recorded change.
+  add(acc.last_change, hi, acc.active);
+  return {busy, kernels};
+}
+
+double UtilizationTracker::context_busy_fraction(
+    int context, gpu::SimTime window_start, gpu::SimTime window_end) const {
+  SGPRS_CHECK(window_end > window_start);
+  auto it = ctx_.find(context);
+  if (it == ctx_.end()) return 0.0;
+  const auto [busy, kernels] =
+      integrate(it->second, window_start, window_end);
+  (void)kernels;
+  return busy / (window_end - window_start).to_sec();
+}
+
+double UtilizationTracker::mean_concurrency(int context,
+                                            gpu::SimTime window_start,
+                                            gpu::SimTime window_end) const {
+  SGPRS_CHECK(window_end > window_start);
+  auto it = ctx_.find(context);
+  if (it == ctx_.end()) return 0.0;
+  const auto [busy, kernels] =
+      integrate(it->second, window_start, window_end);
+  (void)busy;
+  return kernels / (window_end - window_start).to_sec();
+}
+
+std::vector<int> UtilizationTracker::contexts() const {
+  std::vector<int> out;
+  for (const auto& [id, acc] : ctx_) {
+    (void)acc;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace sgprs::metrics

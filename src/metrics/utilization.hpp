@@ -1,0 +1,52 @@
+// Per-context and device utilization accounting, fed by the executor's
+// trace hooks. Answers "how busy was each partition?" — the paper's core
+// underutilization argument, made measurable.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gpu/trace.hpp"
+
+namespace sgprs::metrics {
+
+class UtilizationTracker final : public gpu::TraceSink {
+ public:
+  void on_kernel_start(gpu::SimTime t, int context, int stream,
+                       const gpu::KernelDesc& k) override;
+  void on_kernel_end(gpu::SimTime t, int context, int stream,
+                     const gpu::KernelDesc& k) override;
+
+  /// Fraction of [window_start, window_end] during which the context had
+  /// at least one kernel running.
+  double context_busy_fraction(int context, gpu::SimTime window_start,
+                               gpu::SimTime window_end) const;
+
+  /// Mean number of concurrently running kernels in a context over the
+  /// window (the temporal-partitioning depth actually achieved).
+  double mean_concurrency(int context, gpu::SimTime window_start,
+                          gpu::SimTime window_end) const;
+
+  std::vector<int> contexts() const;
+
+ private:
+  /// A maximal interval with a constant number of running kernels.
+  struct Segment {
+    gpu::SimTime begin;
+    gpu::SimTime end;
+    int active;
+  };
+  struct CtxAccount {
+    int active = 0;
+    gpu::SimTime last_change;
+    std::vector<Segment> segments;
+    void advance(gpu::SimTime now);
+  };
+  /// (busy seconds, kernel-seconds) of the account within the window.
+  static std::pair<double, double> integrate(const CtxAccount& acc,
+                                             gpu::SimTime lo,
+                                             gpu::SimTime hi);
+  std::map<int, CtxAccount> ctx_;
+};
+
+}  // namespace sgprs::metrics

@@ -1,0 +1,95 @@
+// Offline schedulability analysis and admission control.
+//
+// The paper determines its pivot points empirically; this module adds the
+// analytical counterpart a deployment needs: given a task set and a pool,
+// estimate whether the set is schedulable *before* running it, and admit
+// tasks incrementally against a utilization budget.
+//
+// The analysis is necessarily approximate (the executor is a processor-
+// sharing system, not a partitioned uniprocessor), so it exposes both a
+// lower-bound test (utilization) and a heuristic response-time estimate
+// whose pessimism is configurable. Tests pin the analysis against the
+// simulator: the analytical pivot must bracket the empirical one.
+#pragma once
+
+#include <vector>
+
+#include "gpu/context_pool.hpp"
+#include "gpu/speedup.hpp"
+#include "rt/task.hpp"
+
+namespace sgprs::rt {
+
+struct PoolCapacityModel {
+  /// Aggregate steady-state service rate of the pool, in units of
+  /// "1-SM work seconds per wall second", under the sharing model: every
+  /// stream busy, kernels space-sharing each context, global contention
+  /// and interference applied.
+  double work_rate = 0.0;
+  /// Effective service rate of a single stream slot in one context
+  /// (SM-seconds per second) at full pool saturation.
+  double per_slot_rate = 0.0;
+  int total_slots = 0;
+};
+
+/// Computes the saturated-capacity model for a pool of `num_contexts`
+/// contexts of `sm_per_context` SMs with `streams_per_context` streams,
+/// assuming kernels of op class `rep_op` (conv dominates DNN runtime).
+PoolCapacityModel pool_capacity(const gpu::SpeedupModel& speedup,
+                                const gpu::SharingParams& sharing,
+                                int device_total_sms, int num_contexts,
+                                int sm_per_context, int streams_per_context,
+                                gpu::OpClass rep_op = gpu::OpClass::kConv);
+
+struct UtilizationReport {
+  /// Offered load: 1-SM work seconds demanded per second by the task set.
+  double offered_work_rate = 0.0;
+  /// Pool capacity under the same units.
+  double capacity_work_rate = 0.0;
+  double utilization = 0.0;  // offered / capacity
+  bool schedulable_by_utilization = false;
+};
+
+/// Necessary condition: offered work must not exceed capacity. `tasks`
+/// must all be built against the pool SM size used to derive `capacity`.
+UtilizationReport utilization_test(const std::vector<Task>& tasks,
+                                   const PoolCapacityModel& capacity,
+                                   double safety_margin = 1.0);
+
+struct ResponseTimeReport {
+  /// Heuristic worst-case response estimate per task (seconds).
+  std::vector<double> response_sec;
+  bool all_deadlines_met = false;
+};
+
+/// Heuristic response-time estimate: each task's job executes its stages
+/// sequentially at the per-slot rate, plus queueing delay proportional to
+/// utilization (M/G/1-flavoured inflation). Pessimism grows sharply as
+/// utilization approaches 1, mirroring the empirically observed pivot.
+ResponseTimeReport response_time_estimate(const std::vector<Task>& tasks,
+                                          const PoolCapacityModel& capacity,
+                                          int pool_sms);
+
+/// Admission controller: accepts tasks one at a time while the utilization
+/// test (with margin) and the response-time estimate both pass.
+class AdmissionController {
+ public:
+  AdmissionController(PoolCapacityModel capacity, int pool_sms,
+                      double safety_margin = 0.95)
+      : capacity_(capacity), pool_sms_(pool_sms), margin_(safety_margin) {}
+
+  /// Tries to admit `task`; returns true and retains it if the augmented
+  /// set still passes both tests.
+  bool try_admit(const Task& task);
+
+  const std::vector<Task>& admitted() const { return admitted_; }
+  double current_utilization() const;
+
+ private:
+  PoolCapacityModel capacity_;
+  int pool_sms_;
+  double margin_;
+  std::vector<Task> admitted_;
+};
+
+}  // namespace sgprs::rt

@@ -1,0 +1,34 @@
+// Run-time job state (one job = one frame of a periodic task).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/task.hpp"
+
+namespace sgprs::rt {
+
+struct Job {
+  const Task* task = nullptr;
+  std::int64_t index = 0;  // job number within its task
+  SimTime release;
+  SimTime abs_deadline;
+  /// Absolute virtual deadlines per stage (release + cumulative offsets),
+  /// assigned online at release (paper Section IV-B1).
+  std::vector<SimTime> stage_deadlines;
+  int next_stage = 0;
+  /// True once any completed stage finished after its virtual deadline;
+  /// makes the *following* low-priority stage medium (Section IV-B3).
+  bool predecessor_missed = false;
+  /// Context the previous stage ran on (-1 before the first dispatch);
+  /// used to count seamless partition switches.
+  int last_ctx = -1;
+
+  /// Stable identifier for traces: task id in the high bits.
+  std::uint64_t tag() const {
+    return (static_cast<std::uint64_t>(task->id) << 32) |
+           (static_cast<std::uint64_t>(index) & 0xffffffffu);
+  }
+};
+
+}  // namespace sgprs::rt

@@ -1,0 +1,46 @@
+#include "rt/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace sgprs::rt {
+
+Runner::Runner(sim::Engine& engine, Scheduler& scheduler,
+               const std::vector<Task>& tasks, RunnerConfig cfg)
+    : engine_(engine),
+      scheduler_(scheduler),
+      tasks_(tasks),
+      cfg_(cfg),
+      jitter_rng_(cfg.jitter_seed) {
+  SGPRS_CHECK(cfg_.duration > SimTime::zero());
+  SGPRS_CHECK(cfg_.release_jitter >= SimTime::zero());
+  // Jitter must not reorder a task's releases: bound it by the shortest
+  // period in the set.
+  for (const auto& t : tasks_) {
+    SGPRS_CHECK_MSG(cfg_.release_jitter < t.period ||
+                        cfg_.release_jitter == SimTime::zero(),
+                    "release jitter must stay below every period");
+    scheduler_.admit(t);
+  }
+}
+
+void Runner::arm_release(const Task& task, SimTime at) {
+  if (at >= cfg_.duration) return;  // stop releasing at the horizon
+  SimTime fire = at;
+  if (cfg_.release_jitter > SimTime::zero()) {
+    fire += SimTime::from_sec(jitter_rng_.next_double() *
+                              cfg_.release_jitter.to_sec());
+    if (fire >= cfg_.duration) fire = at;  // keep the final release inside
+  }
+  engine_.schedule_at(fire, [this, &task, at, fire] {
+    ++releases_;
+    scheduler_.release_job(task, fire);
+    arm_release(task, at + task.period);
+  });
+}
+
+void Runner::run() {
+  for (const auto& t : tasks_) arm_release(t, t.phase);
+  engine_.run_until(cfg_.duration);
+}
+
+}  // namespace sgprs::rt

@@ -1,0 +1,33 @@
+// Scheduler interface shared by SGPRS and the naive baseline.
+//
+// The Runner owns the periodic release pattern and calls release_job() at
+// each period tick; the scheduler owns everything downstream: admission /
+// drop policy, context assignment, queueing, dispatch to executor streams,
+// and reporting to the metrics collector.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "metrics/collector.hpp"
+#include "rt/task.hpp"
+
+namespace sgprs::rt {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Offline registration (static assignment decisions live here).
+  virtual void admit(const Task& task) = 0;
+
+  /// A new job of `task` is released at `now`.
+  virtual void release_job(const Task& task, SimTime now) = 0;
+
+  /// Jobs released but not yet completed or dropped.
+  virtual int jobs_in_flight() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sgprs::rt

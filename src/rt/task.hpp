@@ -1,0 +1,84 @@
+// Task model (paper Section II) and the offline phase (Section IV-A).
+//
+// A task is a periodic DNN inference: the network is partitioned into
+// stages, each stage gets an offline base priority (two-level scheme: the
+// *last* stage of every task is high priority, the rest low) and a virtual
+// deadline — a slice of the task's relative deadline proportional to the
+// stage's share of the whole-network WCET.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dnn/network.hpp"
+#include "dnn/partition.hpp"
+#include "dnn/profiler.hpp"
+
+namespace sgprs::rt {
+
+using common::SimTime;
+
+/// Base (offline) priority of a stage.
+enum class StagePriority : int { kHigh = 0, kMedium = 1, kLow = 2 };
+
+inline const char* to_string(StagePriority p) {
+  switch (p) {
+    case StagePriority::kHigh: return "high";
+    case StagePriority::kMedium: return "medium";
+    case StagePriority::kLow: return "low";
+  }
+  return "?";
+}
+
+/// Offline priority assignment policy (paper uses kLastStageHigh; the
+/// others exist for the ablation study).
+enum class PriorityPolicy {
+  kLastStageHigh,  // paper Section IV-A1
+  kAllLow,
+  kAllHigh,
+};
+
+struct StageInfo {
+  int index = 0;
+  std::vector<dnn::NodeId> nodes;
+  StagePriority base_priority = StagePriority::kLow;
+  /// Cumulative virtual-deadline offset from job release: the stage's
+  /// absolute deadline is release + this (paper Section IV-B1). The last
+  /// stage's offset equals the task's relative deadline.
+  SimTime virtual_deadline_offset;
+};
+
+struct Task {
+  int id = 0;
+  std::string name;
+  std::shared_ptr<const dnn::Network> network;
+  SimTime period;
+  SimTime deadline;  // relative, explicit (paper: D_i given initially)
+  SimTime phase;     // first release offset
+  std::vector<StageInfo> stages;
+  /// Isolated per-stage WCETs at each pool SM size (offline measurement).
+  dnn::WcetTable wcet;
+
+  int stage_count() const { return static_cast<int>(stages.size()); }
+};
+
+struct TaskConfig {
+  std::string name = "task";
+  double fps = 30.0;  // paper benchmark rate
+  /// Relative deadline; zero means "equal to the period" (implicit).
+  SimTime deadline = SimTime::zero();
+  SimTime phase = SimTime::zero();
+  int num_stages = 6;  // paper evaluation setup
+  PriorityPolicy priority_policy = PriorityPolicy::kLastStageHigh;
+};
+
+/// Runs the offline phase for one task: partition, WCET profiling at each
+/// pool SM size, two-level priorities, and proportional virtual deadlines
+/// (proportions use the WCET at `pool_sm_sizes.front()`).
+Task build_task(int id, std::shared_ptr<const dnn::Network> network,
+                const TaskConfig& cfg, const dnn::Profiler& profiler,
+                const std::vector<int>& pool_sm_sizes);
+
+}  // namespace sgprs::rt

@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace sgprs::sim {
+
+EventId Engine::schedule_at(SimTime t, EventFn fn) {
+  SGPRS_CHECK_MSG(t >= now_, "cannot schedule event in the past: t="
+                                 << t.ns << " now=" << now_.ns);
+  SGPRS_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  // The heap entry stays behind and is skipped when popped.
+  return pending_.erase(id) > 0;
+}
+
+SimTime Engine::next_event_time() const {
+  // Skim cancelled entries logically: the heap may have stale tops, so scan a
+  // copy is too costly — instead we rely on step() to clean; here we pop-peek
+  // conservatively by scanning for the first live entry without mutating.
+  // Cheap approach: top() is stale only until the next step(); callers use
+  // this between steps, so we clean eagerly.
+  auto* self = const_cast<Engine*>(this);
+  while (!self->heap_.empty() &&
+         !self->pending_.contains(self->heap_.top().id)) {
+    self->heap_.pop();
+  }
+  if (heap_.empty()) return SimTime::max();
+  return heap_.top().t;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(top.id);
+    if (it == pending_.end()) continue;  // cancelled
+    EventFn fn = std::move(it->second);
+    pending_.erase(it);
+    SGPRS_CHECK(top.t >= now_);
+    now_ = top.t;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(SimTime t) {
+  SGPRS_CHECK(t >= now_);
+  while (true) {
+    const SimTime nt = next_event_time();
+    if (nt > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace sgprs::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded calendar of timestamped callbacks. Events scheduled for
+// the same instant fire in scheduling (FIFO) order, which keeps runs
+// deterministic. Cancellation is O(1) (lazy deletion on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace sgprs::sim {
+
+using common::SimTime;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+using EventFn = std::function<void()>;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` to run `dt` after now() (dt must be >= 0).
+  EventId schedule_after(SimTime dt, EventFn fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled (both are benign — cancellation is idempotent).
+  bool cancel(EventId id);
+
+  bool has_pending() const { return !pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t processed_count() const { return processed_; }
+
+  /// Time of the earliest pending event, or SimTime::max() if none.
+  SimTime next_event_time() const;
+
+  /// Runs until the calendar is empty.
+  void run();
+
+  /// Runs all events with time <= `t`, then advances now() to exactly `t`.
+  void run_until(SimTime t);
+
+  /// Processes a single event. Returns false if the calendar is empty.
+  bool step();
+
+ private:
+  struct HeapEntry {
+    SimTime t;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<EventId, EventFn> pending_;
+};
+
+}  // namespace sgprs::sim

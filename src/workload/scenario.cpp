@@ -1,0 +1,125 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dnn/profiler.hpp"
+#include "rt/runner.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::workload {
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  SGPRS_CHECK(cfg.num_tasks >= 1);
+  SGPRS_CHECK(cfg.warmup < cfg.duration);
+
+  sim::Engine engine;
+  gpu::Executor exec(engine, cfg.device, gpu::SpeedupModel::rtx2080ti(),
+                     cfg.sharing);
+
+  // Build the pool. The naive baseline gets one stream per context and no
+  // over-subscription (it is pure spatial partitioning).
+  gpu::ContextPoolConfig pool_cfg;
+  pool_cfg.num_contexts = cfg.num_contexts;
+  if (cfg.scheduler == SchedulerKind::kSgprs) {
+    pool_cfg.oversubscription = cfg.oversubscription;
+    pool_cfg.explicit_sm_limits = cfg.context_sms;
+    pool_cfg.high_streams_per_context = 2;
+    pool_cfg.low_streams_per_context = 2;
+  } else {
+    pool_cfg.oversubscription = 1.0;
+    pool_cfg.high_streams_per_context = 1;
+    pool_cfg.low_streams_per_context = 0;
+  }
+  gpu::ContextPool pool(exec, pool_cfg);
+
+  // Offline phase: one shared network + WCET profile, cloned per task.
+  const auto network = std::make_shared<const dnn::Network>(
+      cfg.network_builder ? cfg.network_builder() : dnn::resnet18());
+  dnn::Profiler profiler(cfg.device, gpu::SpeedupModel::rtx2080ti(),
+                         dnn::CostModel::calibrated());
+  // Profile at every distinct SM size in the (possibly heterogeneous) pool.
+  std::vector<int> pool_sizes;
+  for (const auto& pc : pool.contexts()) {
+    if (std::find(pool_sizes.begin(), pool_sizes.end(), pc.sm_limit) ==
+        pool_sizes.end()) {
+      pool_sizes.push_back(pc.sm_limit);
+    }
+  }
+
+  rt::TaskConfig tcfg;
+  tcfg.fps = cfg.fps;
+  tcfg.num_stages = cfg.num_stages;
+  tcfg.priority_policy = cfg.priority_policy;
+
+  common::Rng rng(cfg.seed);
+  const rt::Task prototype =
+      rt::build_task(0, network, tcfg, profiler, pool_sizes);
+
+  std::vector<rt::Task> tasks;
+  tasks.reserve(cfg.num_tasks);
+  for (int i = 0; i < cfg.num_tasks; ++i) {
+    rt::Task t = prototype;
+    t.id = i;
+    t.name = "task" + std::to_string(i);
+    if (cfg.jitter_phases) {
+      t.phase = SimTime::from_sec(rng.next_double() * t.period.to_sec());
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  metrics::Collector collector(cfg.warmup);
+  std::unique_ptr<rt::Scheduler> scheduler;
+  if (cfg.scheduler == SchedulerKind::kSgprs) {
+    scheduler = std::make_unique<rt::SgprsScheduler>(exec, pool, collector,
+                                                     cfg.sgprs);
+  } else {
+    scheduler = std::make_unique<rt::NaiveScheduler>(exec, pool, collector,
+                                                     cfg.naive);
+  }
+
+  rt::RunnerConfig rcfg;
+  rcfg.duration = cfg.duration;
+  rt::Runner runner(engine, *scheduler, tasks, rcfg);
+  runner.run();
+
+  ScenarioResult result;
+  result.aggregate = collector.aggregate(cfg.duration);
+  for (int i = 0; i < cfg.num_tasks; ++i) {
+    result.per_task.push_back(collector.per_task(i, cfg.duration));
+  }
+  result.releases = runner.releases_issued();
+  if (auto* s = dynamic_cast<rt::SgprsScheduler*>(scheduler.get())) {
+    result.stage_migrations = s->stage_migrations();
+    result.medium_promotions = s->medium_promotions();
+  }
+  result.sim_events = static_cast<double>(engine.processed_count());
+  result.gpu_busy_sm_seconds = exec.busy_sm_seconds();
+  return result;
+}
+
+std::vector<ScenarioResult> sweep_num_tasks(ScenarioConfig cfg, int from,
+                                            int to) {
+  SGPRS_CHECK(from >= 1 && to >= from);
+  std::vector<ScenarioResult> results;
+  results.reserve(to - from + 1);
+  for (int n = from; n <= to; ++n) {
+    cfg.num_tasks = n;
+    results.push_back(run_scenario(cfg));
+  }
+  return results;
+}
+
+int find_pivot(const std::vector<ScenarioResult>& sweep, int from,
+               double miss_epsilon) {
+  int pivot = from - 1;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].aggregate.dmr > miss_epsilon) break;
+    pivot = from + static_cast<int>(i);
+  }
+  return pivot;
+}
+
+}  // namespace sgprs::workload

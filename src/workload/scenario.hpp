@@ -1,0 +1,94 @@
+// Experiment harness: builds a full simulation (device, pool, task set,
+// scheduler, metrics) from a declarative config, runs it, and returns the
+// paper's metrics. Every bench and example goes through this.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/builders.hpp"
+#include "gpu/context_pool.hpp"
+#include "gpu/device.hpp"
+#include "metrics/collector.hpp"
+#include "rt/naive_scheduler.hpp"
+#include "rt/sgprs_scheduler.hpp"
+
+namespace sgprs::workload {
+
+using common::SimTime;
+
+enum class SchedulerKind { kSgprs, kNaive };
+
+inline const char* to_string(SchedulerKind k) {
+  return k == SchedulerKind::kSgprs ? "sgprs" : "naive";
+}
+
+struct ScenarioConfig {
+  SchedulerKind scheduler = SchedulerKind::kSgprs;
+  /// Context pool shape. The paper's Scenario 1 is 2 contexts, Scenario 2
+  /// is 3. Over-subscription applies to SGPRS; the naive baseline always
+  /// partitions the device exactly (os = 1.0) since it has no notion of an
+  /// over-subscribed pool.
+  int num_contexts = 2;
+  double oversubscription = 1.0;
+  /// Heterogeneous pool override: explicit per-context SM limits. When
+  /// non-empty this wins over num_contexts/oversubscription (SGPRS only;
+  /// the naive pool stays uniform).
+  std::vector<int> context_sms;
+
+  /// Task set: identical periodic DNN tasks (paper: ResNet18 @ 30 fps,
+  /// 6 stages, implicit deadline = period).
+  int num_tasks = 1;
+  double fps = 30.0;
+  int num_stages = 6;
+  /// Offline priority assignment (paper: last stage high). Exposed for the
+  /// priority ablation.
+  rt::PriorityPolicy priority_policy = rt::PriorityPolicy::kLastStageHigh;
+  /// Build the task DNN; defaults to ResNet18 @ 224.
+  std::function<dnn::Network()> network_builder;
+
+  /// Randomize task phases uniformly in [0, period) — sensor frames are
+  /// not phase-aligned in practice. Seeded for reproducibility.
+  bool jitter_phases = true;
+  std::uint64_t seed = 42;
+
+  SimTime duration = SimTime::from_sec(3.0);
+  SimTime warmup = SimTime::from_sec(0.5);
+
+  rt::SgprsConfig sgprs;
+  rt::NaiveConfig naive;
+  gpu::DeviceSpec device = gpu::rtx2080ti();
+  gpu::SharingParams sharing;  // calibrated defaults
+};
+
+struct ScenarioResult {
+  metrics::Snapshot aggregate;
+  std::vector<metrics::Snapshot> per_task;
+  std::int64_t releases = 0;
+  std::int64_t stage_migrations = 0;   // SGPRS only
+  std::int64_t medium_promotions = 0;  // SGPRS only
+  double sim_events = 0.0;
+  double gpu_busy_sm_seconds = 0.0;
+
+  double fps() const { return aggregate.fps; }
+  double dmr() const { return aggregate.dmr; }
+};
+
+/// Builds and runs one scenario to completion.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Runs the scenario at every task count in [from, to] (the x-axis of
+/// Figs. 3 and 4). Results are indexed by (n - from).
+std::vector<ScenarioResult> sweep_num_tasks(ScenarioConfig cfg, int from,
+                                            int to);
+
+/// Pivot point (paper Section V): the largest task count that the
+/// scheduler handles without deadline misses — i.e. the last N before the
+/// first result with dmr > miss_epsilon. Returns `from - 1` if even the
+/// smallest count misses.
+int find_pivot(const std::vector<ScenarioResult>& sweep, int from,
+               double miss_epsilon = 1e-9);
+
+}  // namespace sgprs::workload

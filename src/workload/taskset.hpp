@@ -1,0 +1,43 @@
+// Synthetic task-set generation for stress tests and capacity studies.
+//
+// Utilizations are drawn with UUniFast (Bini & Buttazzo), the standard
+// unbiased sampler for real-time task-set experiments; each task then gets
+// a network from a mix and a rate derived from its utilization share.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnn/profiler.hpp"
+#include "rt/task.hpp"
+
+namespace sgprs::workload {
+
+struct RandomTaskSetConfig {
+  int count = 8;
+  /// Total utilization target, in units of "fraction of one pool context
+  /// running whole networks back to back" (u_i = WCET_i(pool_sms) / T_i).
+  double total_utilization = 2.0;
+  /// Candidate networks (weights uniform). Defaults to
+  /// {resnet18, mobilenet_like, lenet5} when empty.
+  std::vector<std::function<dnn::Network()>> network_choices;
+  /// Stage count per task.
+  int num_stages = 6;
+  /// Periods are clamped into [min_fps, max_fps].
+  double min_fps = 5.0;
+  double max_fps = 120.0;
+  std::uint64_t seed = 7;
+};
+
+/// UUniFast: draws `n` utilizations summing exactly to `total`.
+std::vector<double> uunifast(int n, double total, common::Rng& rng);
+
+/// Builds a random task set against a pool SM size. Tasks get ids
+/// [0, count), phases jittered within one period.
+std::vector<rt::Task> build_random_taskset(const RandomTaskSetConfig& cfg,
+                                           const dnn::Profiler& profiler,
+                                           const std::vector<int>& pool_sms);
+
+}  // namespace sgprs::workload

@@ -1,0 +1,43 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgprs::common {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(SGPRS_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    SGPRS_CHECK(false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("check_test.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    SGPRS_CHECK_MSG(2 < 1, "the answer is " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  SGPRS_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sgprs::common

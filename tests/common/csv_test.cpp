@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sgprs::common {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, HeaderThenRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"x", "y"});
+  w.row({"1", "2"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"line1\nline2"});
+  EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, NumFormatsPrecision) {
+  EXPECT_EQ(CsvWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(CsvWriter::num(1.0, 0), "1");
+  EXPECT_EQ(CsvWriter::num(-0.5, 3), "-0.500");
+}
+
+TEST(CsvWriter, EmptyCells) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"", "x", ""});
+  EXPECT_EQ(os.str(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace sgprs::common

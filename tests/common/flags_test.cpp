@@ -1,0 +1,115 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace sgprs::common {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  FlagParser p;
+  p.define("tasks", "task count", "16");
+  auto argv = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get_int("tasks"), 16);
+  EXPECT_FALSE(p.has("tasks"));
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagParser p;
+  p.define("oversub", "level", "1.0");
+  auto argv = argv_of({"--oversub=2.5"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(p.get_double("oversub"), 2.5);
+  EXPECT_TRUE(p.has("oversub"));
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  FlagParser p;
+  p.define("name", "a name", "x");
+  auto argv = argv_of({"--name", "hello"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.get("name"), "hello");
+}
+
+TEST(Flags, BareBoolFlag) {
+  FlagParser p;
+  p.define_bool("verbose", "talk more");
+  auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(Flags, BoolWithExplicitValue) {
+  FlagParser p;
+  p.define("boost", "toggle", "true");
+  auto argv = argv_of({"--boost=false"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(p.get_bool("boost"));
+}
+
+TEST(Flags, UnknownFlagFailsParse) {
+  FlagParser p;
+  p.define("tasks", "count", "1");
+  auto argv = argv_of({"--typo=3"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.error().find("typo"), std::string::npos);
+}
+
+TEST(Flags, MissingValueFailsParse) {
+  FlagParser p;
+  p.define("tasks", "count", "1");
+  auto argv = argv_of({"--tasks"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Flags, PositionalArgsCollected) {
+  FlagParser p;
+  p.define("x", "", "");
+  auto argv = argv_of({"alpha", "--x=1", "beta"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Flags, BadNumericConversionThrows) {
+  FlagParser p;
+  p.define("tasks", "count", "abc");
+  auto argv = argv_of({});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(p.get_int("tasks"), CheckError);
+  EXPECT_THROW(p.get_double("tasks"), CheckError);
+  EXPECT_THROW(p.get_bool("tasks"), CheckError);
+}
+
+TEST(Flags, UndefinedLookupThrows) {
+  FlagParser p;
+  EXPECT_THROW(p.get("nope"), CheckError);
+  EXPECT_THROW(p.has("nope"), CheckError);
+}
+
+TEST(Flags, DuplicateDefinitionThrows) {
+  FlagParser p;
+  p.define("x", "", "");
+  EXPECT_THROW(p.define("x", "", ""), CheckError);
+}
+
+TEST(Flags, HelpListsAllFlags) {
+  FlagParser p;
+  p.define("tasks", "number of tasks", "16");
+  p.define_bool("verbose", "talk more");
+  const auto h = p.help("prog");
+  EXPECT_NE(h.find("--tasks"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("default: 16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgprs::common

@@ -1,0 +1,72 @@
+#include "common/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sgprs::common {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().end_object();
+  EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(JsonWriter, ScalarFields) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .field("s", "hi")
+      .field("i", std::int64_t{42})
+      .field("d", 1.5)
+      .field("b", true)
+      .end_object();
+  EXPECT_EQ(os.str(), R"({"s":"hi","i":42,"d":1.5,"b":true})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.begin_object().field("x", 1).end_object();
+  w.begin_object().field("x", 2).end_object();
+  w.end_array();
+  EXPECT_EQ(os.str(), R"([{"x":1},{"x":2}])");
+}
+
+TEST(JsonWriter, NestedStructure) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object().key("a");
+  w.begin_array().value(1).value(2).end_array();
+  w.field("b", "z").end_object();
+  EXPECT_EQ(os.str(), R"({"a":[1,2],"b":"z"})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, NonFiniteDoubleBecomesNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(os.str(), "[null]");
+}
+
+TEST(JsonWriter, UnbalancedEndThrows) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_THROW(w.end_object(), CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::common

@@ -1,0 +1,116 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sgprs::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.p50(), 0.0);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Percentiles, MedianOfOddCount) {
+  Percentiles p;
+  for (double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 5.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenSamples) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.max(), 2.0);
+  p.add(0.5);  // out of order after previous sort
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.5);
+}
+
+TEST(Percentiles, UniformQuantilesRoughlyLinear) {
+  Percentiles p;
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) p.add(rng.next_double());
+  EXPECT_NEAR(p.p50(), 0.5, 0.02);
+  EXPECT_NEAR(p.p95(), 0.95, 0.02);
+  EXPECT_NEAR(p.p99(), 0.99, 0.01);
+}
+
+TEST(Percentiles, OutOfRangeQuantileThrows) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_THROW(p.quantile(-0.1), CheckError);
+  EXPECT_THROW(p.quantile(1.1), CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::common

@@ -1,0 +1,104 @@
+// Tests for the extended model zoo (ResNet50 bottlenecks, AlexNet) and
+// cross-network partition/profile behaviour.
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+#include "dnn/partition.hpp"
+#include "dnn/profiler.hpp"
+
+namespace sgprs::dnn {
+namespace {
+
+int count_op(const Network& n, gpu::OpClass op) {
+  int c = 0;
+  for (int i = 0; i < n.node_count(); ++i) {
+    if (n.layer(i).op == op) ++c;
+  }
+  return c;
+}
+
+TEST(Resnet50, BottleneckInventory) {
+  const auto net = resnet50();
+  // 16 blocks x 3 convs + stem + 4 projections = 53 convs.
+  EXPECT_EQ(count_op(net, gpu::OpClass::kConv), 53);
+  EXPECT_EQ(count_op(net, gpu::OpClass::kAdd), 16);
+  EXPECT_EQ(net.outputs().size(), 1u);
+}
+
+TEST(Resnet50, FlopsMatchLiterature) {
+  // ~4.1 GMACs -> ~8.2e9 FLOPs at 2 FLOPs per MAC.
+  const auto net = resnet50();
+  EXPECT_GE(net.total_flops(), 7.6e9);
+  EXPECT_LE(net.total_flops(), 8.8e9);
+}
+
+TEST(Resnet50, FinalFeatureChannels) {
+  const auto net = resnet50();
+  for (int i = 0; i < net.node_count(); ++i) {
+    if (net.layer(i).name == "avgpool") {
+      EXPECT_EQ(net.layer(i).out_shape, (TensorShape{2048, 1, 1}));
+      return;
+    }
+  }
+  FAIL() << "avgpool not found";
+}
+
+TEST(Alexnet, FlopsMatchLiterature) {
+  // ~0.71 GMACs -> ~1.43e9 FLOPs.
+  const auto net = alexnet();
+  EXPECT_GE(net.total_flops(), 1.2e9);
+  EXPECT_LE(net.total_flops(), 1.7e9);
+}
+
+TEST(Alexnet, LinearChainFullyCuttable) {
+  const auto net = alexnet();
+  int cuts = 0;
+  for (int p = 0; p + 1 < net.node_count(); ++p) {
+    if (net.cut_allowed_after(p)) ++cuts;
+  }
+  EXPECT_EQ(cuts, net.node_count() - 1) << "no residuals -> all cuts legal";
+}
+
+TEST(Alexnet, FcTailDominatesPoorScaling) {
+  // AlexNet's FC layers are ~10% of FLOPs but scale at <=7x, so the
+  // network's end-to-end speedup must lag ResNet18's.
+  Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                CostModel::calibrated());
+  EXPECT_LT(prof.network_speedup(alexnet(), 68),
+            prof.network_speedup(resnet18(), 68));
+}
+
+TEST(Resnet50, PartitionsIntoSixBalancedStages) {
+  const auto net = resnet50();
+  const auto cost = CostModel::calibrated();
+  const auto plan = partition_into_stages(net, cost, 6);
+  ASSERT_EQ(plan.stage_count(), 6);
+  double total = 0.0;
+  double mx = 0.0;
+  for (const auto& st : plan.stages) {
+    const double w = stage_work_seconds(net, cost, st);
+    total += w;
+    mx = std::max(mx, w);
+  }
+  EXPECT_LE(mx, 2.5 * total / 6.0);
+}
+
+TEST(ModelZoo, RelativeCostOrdering) {
+  // Full-GPU latency ordering should follow FLOPs ordering for the
+  // conv-dominated nets.
+  Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                CostModel::calibrated());
+  auto latency = [&](const Network& n) {
+    StagePlan whole;
+    whole.stages.push_back(n.topo_order());
+    return prof.profile(n, whole, {68}).total_at(68).to_sec();
+  };
+  const double r18 = latency(resnet18());
+  const double r34 = latency(resnet34());
+  const double r50 = latency(resnet50());
+  EXPECT_LT(r18, r34);
+  EXPECT_LT(r34, r50);
+}
+
+}  // namespace
+}  // namespace sgprs::dnn

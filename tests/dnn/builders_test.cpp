@@ -1,0 +1,120 @@
+#include "dnn/builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgprs::dnn {
+namespace {
+
+int count_op(const Network& n, gpu::OpClass op) {
+  int c = 0;
+  for (int i = 0; i < n.node_count(); ++i) {
+    if (n.layer(i).op == op) ++c;
+  }
+  return c;
+}
+
+TEST(Resnet18, TotalFlopsMatchesLiterature) {
+  // torchvision reports ~1.82 GMACs for ResNet18 @ 224; we count a MAC as
+  // 2 FLOPs, so expect ~3.64e9.
+  const auto net = resnet18();
+  EXPECT_GE(net.total_flops(), 3.4e9);
+  EXPECT_LE(net.total_flops(), 3.9e9);
+}
+
+TEST(Resnet18, LayerInventory) {
+  const auto net = resnet18();
+  // 1 stem + 16 block convs + 3 downsample projections = 20 convs.
+  EXPECT_EQ(count_op(net, gpu::OpClass::kConv), 20);
+  EXPECT_EQ(count_op(net, gpu::OpClass::kMaxPool), 1);
+  EXPECT_EQ(count_op(net, gpu::OpClass::kAdd), 8);  // one per basic block
+  EXPECT_EQ(count_op(net, gpu::OpClass::kLinear), 1);
+}
+
+TEST(Resnet18, SingleOutput) {
+  const auto net = resnet18();
+  EXPECT_EQ(net.outputs().size(), 1u);
+  EXPECT_EQ(net.layer(net.outputs()[0]).name, "fc");
+}
+
+TEST(Resnet18, FinalFeatureShape) {
+  const auto net = resnet18();
+  // The layer before avgpool outputs 512x7x7 (standard ResNet18 @ 224).
+  for (int i = 0; i < net.node_count(); ++i) {
+    if (net.layer(i).name == "layer4.1.relu2") {
+      EXPECT_EQ(net.layer(i).out_shape, (TensorShape{512, 7, 7}));
+      return;
+    }
+  }
+  FAIL() << "layer4.1.relu2 not found";
+}
+
+TEST(Resnet34, DeeperThanResnet18) {
+  const auto n18 = resnet18();
+  const auto n34 = resnet34();
+  EXPECT_GT(n34.node_count(), n18.node_count());
+  EXPECT_GT(n34.total_flops(), 1.9 * n18.total_flops())
+      << "ResNet34 is roughly 2x the FLOPs of ResNet18";
+  // 16 blocks x 2 convs + 1 stem + 3 downsample projections.
+  EXPECT_EQ(count_op(n34, gpu::OpClass::kConv), 36);
+}
+
+TEST(Vgg11, ConvAndLinearHeavy) {
+  const auto net = vgg11();
+  EXPECT_EQ(count_op(net, gpu::OpClass::kConv), 8);
+  EXPECT_EQ(count_op(net, gpu::OpClass::kLinear), 3);
+  EXPECT_EQ(count_op(net, gpu::OpClass::kAdd), 0) << "no residuals in VGG";
+  // VGG-11 @224 is ~15.2 GFLOPs; ours omits nothing big.
+  EXPECT_GE(net.total_flops(), 13e9);
+  EXPECT_LE(net.total_flops(), 17e9);
+}
+
+TEST(MobilenetLike, MostlyCheapKernels) {
+  const auto net = mobilenet_like();
+  // Depthwise+pointwise pairs: 1 stem + 26 convs.
+  EXPECT_EQ(count_op(net, gpu::OpClass::kConv), 27);
+  // ~1.1-1.2 GFLOPs for MobileNetV1-ish @224.
+  EXPECT_GE(net.total_flops(), 0.9e9);
+  EXPECT_LE(net.total_flops(), 1.4e9);
+}
+
+TEST(Lenet5, TinyNetwork) {
+  const auto net = lenet5();
+  EXPECT_LT(net.total_flops(), 2e6);
+  EXPECT_EQ(net.outputs().size(), 1u);
+}
+
+TEST(Mlp3, PureLinearChainAllowsCutsEverywhere) {
+  const auto net = mlp3();
+  for (int p = 0; p + 1 < net.node_count(); ++p) {
+    EXPECT_TRUE(net.cut_allowed_after(p)) << "position " << p;
+  }
+}
+
+TEST(AllBuilders, ShapesPropagateWithoutError) {
+  // Constructing each net exercises every shape computation.
+  EXPECT_GT(resnet18().node_count(), 0);
+  EXPECT_GT(resnet34().node_count(), 0);
+  EXPECT_GT(vgg11().node_count(), 0);
+  EXPECT_GT(mobilenet_like().node_count(), 0);
+  EXPECT_GT(lenet5().node_count(), 0);
+  EXPECT_GT(mlp3().node_count(), 0);
+}
+
+TEST(AllBuilders, EveryLayerHasPositiveFlops) {
+  for (const auto& net : {resnet18(), vgg11(), mobilenet_like(), lenet5()}) {
+    for (int i = 0; i < net.node_count(); ++i) {
+      EXPECT_GT(net.layer(i).flops, 0.0)
+          << net.name() << "/" << net.layer(i).name;
+    }
+  }
+}
+
+TEST(Resnet18, InputResolutionScalesFlops) {
+  const auto small = resnet18(112);
+  const auto big = resnet18(224);
+  // Roughly 4x the spatial work at 2x the resolution.
+  EXPECT_NEAR(big.total_flops() / small.total_flops(), 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace sgprs::dnn

@@ -1,0 +1,87 @@
+#include "dnn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/calibration.hpp"
+
+namespace sgprs::dnn {
+namespace {
+
+TEST(Flops, Conv2dKnownValue) {
+  // 3x224x224 input, 64 output channels, 7x7 kernel, stride 2, pad 3:
+  // out 112x112, per-output 2*7*7*3 = 294 -> 294 * 64 * 112*112.
+  const TensorShape in{3, 224, 224};
+  EXPECT_DOUBLE_EQ(conv2d_flops(in, 64, 7, 2, 3),
+                   294.0 * 64 * 112 * 112);
+}
+
+TEST(Flops, Conv1x1IsChannelMixing) {
+  const TensorShape in{64, 56, 56};
+  EXPECT_DOUBLE_EQ(conv2d_flops(in, 128, 1, 1, 0),
+                   2.0 * 64 * 128 * 56 * 56);
+}
+
+TEST(Flops, GroupedConvDividesInputChannels) {
+  const TensorShape in{64, 56, 56};
+  EXPECT_DOUBLE_EQ(conv2d_flops(in, 64, 3, 1, 1, 64),
+                   depthwise_conv_flops(in, 3, 1, 1));
+  EXPECT_DOUBLE_EQ(conv2d_flops(in, 64, 3, 1, 1, 4),
+                   conv2d_flops(in, 64, 3, 1, 1) / 4.0);
+}
+
+TEST(Flops, InvalidGroupsThrow) {
+  const TensorShape in{64, 56, 56};
+  EXPECT_THROW(conv2d_flops(in, 64, 3, 1, 1, 7), common::CheckError);
+}
+
+TEST(Flops, PoolCountsWindow) {
+  const TensorShape in{64, 112, 112};
+  // 3x3 stride 2 pad 1 -> 56x56 outputs.
+  EXPECT_DOUBLE_EQ(pool_flops(in, 3, 2, 1), 9.0 * 64 * 56 * 56);
+}
+
+TEST(Flops, ElementwiseOps) {
+  const TensorShape in{8, 4, 4};
+  EXPECT_DOUBLE_EQ(relu_flops(in), 128.0);
+  EXPECT_DOUBLE_EQ(add_flops(in), 128.0);
+  EXPECT_DOUBLE_EQ(batchnorm_flops(in), 256.0);
+  EXPECT_DOUBLE_EQ(global_avgpool_flops(in), 128.0);
+}
+
+TEST(Flops, LinearAndSoftmax) {
+  EXPECT_DOUBLE_EQ(linear_flops(512, 1000), 2.0 * 512 * 1000);
+  EXPECT_DOUBLE_EQ(softmax_flops(1000), 5000.0);
+}
+
+TEST(Shape, ConvOutDimFormula) {
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_dim(56, 3, 1, 1), 56);
+  EXPECT_EQ(conv_out_dim(56, 1, 2, 0), 28);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), common::CheckError);
+}
+
+TEST(CostModel, WorkSecondsUsesPerOpThroughput) {
+  const auto cm = CostModel::calibrated();
+  Layer l;
+  l.op = gpu::OpClass::kConv;
+  l.flops = gpu::calibration::kGflopsPerSm[0] * 1e9;  // 1 s at conv 1-SM rate
+  EXPECT_NEAR(cm.work_seconds(l), 1.0, 1e-12);
+}
+
+TEST(CostModel, KernelCarriesOverheadAndTag) {
+  const auto cm = CostModel::calibrated();
+  Layer l;
+  l.name = "conv1";
+  l.op = gpu::OpClass::kConv;
+  l.flops = 1e9;
+  const auto k = cm.kernel_for(l, 99);
+  EXPECT_EQ(k.op, gpu::OpClass::kConv);
+  EXPECT_DOUBLE_EQ(k.overhead_seconds,
+                   gpu::calibration::kLaunchOverheadSec);
+  EXPECT_EQ(k.tag, 99u);
+  EXPECT_EQ(k.label, "conv1");
+  EXPECT_GT(k.work_sm_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sgprs::dnn

@@ -1,0 +1,94 @@
+#include "dnn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgprs::dnn {
+namespace {
+
+Layer make_layer(const std::string& name, double flops = 1.0) {
+  Layer l;
+  l.name = name;
+  l.op = gpu::OpClass::kConv;
+  l.flops = flops;
+  l.out_shape = {1, 1, 1};
+  return l;
+}
+
+TEST(Network, AddBuildsEdges) {
+  Network n("t");
+  const auto a = n.add(make_layer("a"), {});
+  const auto b = n.add(make_layer("b"), {a});
+  const auto c = n.add(make_layer("c"), {a, b});
+  EXPECT_EQ(n.node_count(), 3);
+  EXPECT_TRUE(n.preds(a).empty());
+  EXPECT_EQ(n.preds(c), (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(n.succs(a), (std::vector<NodeId>{b, c}));
+  EXPECT_TRUE(n.succs(c).empty());
+}
+
+TEST(Network, ForwardReferenceThrows) {
+  Network n("t");
+  EXPECT_THROW(n.add(make_layer("a"), {0}), common::CheckError);  // self
+  n.add(make_layer("a"), {});
+  EXPECT_THROW(n.add(make_layer("b"), {5}), common::CheckError);
+}
+
+TEST(Network, OutputsAreSinkNodes) {
+  Network n("t");
+  const auto a = n.add(make_layer("a"), {});
+  const auto b = n.add(make_layer("b"), {a});
+  n.add(make_layer("c"), {b});
+  const auto outs = n.outputs();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], 2);
+}
+
+TEST(Network, TotalFlopsSums) {
+  Network n("t");
+  n.add(make_layer("a", 10.0), {});
+  n.add(make_layer("b", 32.0), {0});
+  EXPECT_DOUBLE_EQ(n.total_flops(), 42.0);
+}
+
+TEST(Network, CutAllowedOnLinearChain) {
+  Network n("chain");
+  n.add(make_layer("a"), {});
+  n.add(make_layer("b"), {0});
+  n.add(make_layer("c"), {1});
+  EXPECT_TRUE(n.cut_allowed_after(0));
+  EXPECT_TRUE(n.cut_allowed_after(1));
+  EXPECT_FALSE(n.cut_allowed_after(2)) << "no cut after the last node";
+}
+
+TEST(Network, CutForbiddenInsideResidualBlock) {
+  // a -> b -> add(a,b): cutting after `a` is legal (both b and add consume
+  // a's single output tensor), but cutting after `b` would tear the skip
+  // edge a->add, so it is forbidden.
+  Network n("res");
+  const auto a = n.add(make_layer("a"), {});
+  const auto b = n.add(make_layer("b"), {a});
+  n.add(make_layer("add"), {a, b});
+  EXPECT_TRUE(n.cut_allowed_after(0)) << "suffix depends on a's tensor only";
+  EXPECT_FALSE(n.cut_allowed_after(1)) << "skip edge a->add crosses";
+}
+
+TEST(Network, CutAllowedAtBlockBoundary) {
+  // Residual block (a,b,add) followed by d: cutting after the add is legal.
+  Network n("res");
+  const auto a = n.add(make_layer("a"), {});
+  const auto b = n.add(make_layer("b"), {a});
+  const auto add = n.add(make_layer("add"), {a, b});
+  n.add(make_layer("d"), {add});
+  EXPECT_TRUE(n.cut_allowed_after(2));
+}
+
+TEST(Network, TopoOrderIsInsertionOrder) {
+  Network n("t");
+  n.add(make_layer("a"), {});
+  n.add(make_layer("b"), {0});
+  const auto order = n.topo_order();
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace sgprs::dnn

@@ -1,0 +1,121 @@
+// Verifies the partition DP against exhaustive enumeration on small
+// networks: the DP's bottleneck stage work must equal the true optimum
+// over every legal cut combination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/partition.hpp"
+
+namespace sgprs::dnn {
+namespace {
+
+double bottleneck_of(const Network& net, const CostModel& cost,
+                     const StagePlan& plan) {
+  double mx = 0.0;
+  for (const auto& st : plan.stages) {
+    mx = std::max(mx, stage_work_seconds(net, cost, st));
+  }
+  return mx;
+}
+
+/// Exhaustive optimal bottleneck: choose up to k-1 cuts from the legal cut
+/// set, minimizing the max segment work.
+double brute_force_bottleneck(const Network& net, const CostModel& cost,
+                              int k) {
+  std::vector<int> cuts;
+  for (int p = 0; p + 1 < net.node_count(); ++p) {
+    if (net.cut_allowed_after(p)) cuts.push_back(p);
+  }
+  std::vector<double> prefix(net.node_count() + 1, 0.0);
+  for (int i = 0; i < net.node_count(); ++i) {
+    prefix[i + 1] = prefix[i] + cost.work_seconds(net.layer(i));
+  }
+  double best = prefix.back();  // one stage
+  const int m = static_cast<int>(cuts.size());
+  // Enumerate subsets of cut positions of size < k via bitmask (small m).
+  SGPRS_CHECK(m <= 20);
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (__builtin_popcount(mask) >= k) continue;
+    double mx = 0.0;
+    int lo = 0;
+    for (int i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        mx = std::max(mx, prefix[cuts[i] + 1] - prefix[lo]);
+        lo = cuts[i] + 1;
+      }
+    }
+    mx = std::max(mx, prefix[net.node_count()] - prefix[lo]);
+    best = std::min(best, mx);
+  }
+  return best;
+}
+
+/// Random linear-chain network with lumpy per-layer costs.
+Network random_chain(common::Rng& rng, int nodes) {
+  Network net("chain");
+  for (int i = 0; i < nodes; ++i) {
+    Layer l;
+    l.name = "n" + std::to_string(i);
+    l.op = gpu::OpClass::kConv;
+    // FLOPs spread over two orders of magnitude makes balance non-trivial.
+    l.flops = 1e8 * std::pow(10.0, rng.uniform(0.0, 2.0));
+    l.out_shape = {1, 1, 1};
+    net.add(std::move(l), i == 0 ? std::vector<NodeId>{}
+                                 : std::vector<NodeId>{i - 1});
+  }
+  return net;
+}
+
+class PartitionOptimality
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PartitionOptimality, DpMatchesBruteForce) {
+  const auto [seed, nodes, k] = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto net = random_chain(rng, nodes);
+  const auto cost = CostModel::calibrated();
+  const auto plan = partition_into_stages(net, cost, k);
+  const double dp = bottleneck_of(net, cost, plan);
+  const double brute = brute_force_bottleneck(net, cost, k);
+  EXPECT_NEAR(dp, brute, 1e-12 + 1e-9 * brute)
+      << "DP must be optimal for " << nodes << " nodes, " << k << " stages";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomChains, PartitionOptimality,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(6, 10, 14),
+                       ::testing::Values(2, 3, 5, 7)));
+
+TEST(PartitionOptimality, LenetExactOptimum) {
+  // LeNet-5 is a pure chain: brute force is feasible and the DP must hit
+  // the optimum for every stage count.
+  const auto net = lenet5();
+  const auto cost = CostModel::calibrated();
+  for (int k = 1; k <= net.node_count(); ++k) {
+    const auto plan = partition_into_stages(net, cost, k);
+    EXPECT_NEAR(bottleneck_of(net, cost, plan),
+                brute_force_bottleneck(net, cost, k), 1e-15)
+        << "k=" << k;
+  }
+}
+
+TEST(PartitionOptimality, BottleneckMonotoneInStageCount) {
+  // More stages can never worsen the optimal bottleneck.
+  const auto net = resnet18();
+  const auto cost = CostModel::calibrated();
+  double prev = 1e18;
+  for (int k : {1, 2, 3, 4, 6, 8, 12}) {
+    const auto plan = partition_into_stages(net, cost, k);
+    const double b = bottleneck_of(net, cost, plan);
+    EXPECT_LE(b, prev + 1e-12) << "k=" << k;
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace sgprs::dnn

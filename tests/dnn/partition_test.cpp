@@ -1,0 +1,153 @@
+#include "dnn/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/builders.hpp"
+
+namespace sgprs::dnn {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  CostModel cost_ = CostModel::calibrated();
+};
+
+void expect_valid_partition(const Network& net, const StagePlan& plan) {
+  // Every node exactly once, stages contiguous and in order.
+  std::set<NodeId> seen;
+  NodeId expected = 0;
+  for (const auto& stage : plan.stages) {
+    ASSERT_FALSE(stage.empty());
+    for (NodeId id : stage) {
+      EXPECT_EQ(id, expected++) << "stages must tile the topo order";
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), net.node_count());
+}
+
+TEST_F(PartitionTest, Resnet18SixStagesPaperSetup) {
+  const auto net = resnet18();
+  const auto plan = partition_into_stages(net, cost_, 6);
+  ASSERT_EQ(plan.stage_count(), 6);
+  expect_valid_partition(net, plan);
+}
+
+TEST_F(PartitionTest, StagesRespectResidualBlocks) {
+  const auto net = resnet18();
+  const auto plan = partition_into_stages(net, cost_, 6);
+  // Boundary validity: each stage boundary is a legal cut of the DAG.
+  int pos = -1;
+  for (int s = 0; s + 1 < plan.stage_count(); ++s) {
+    pos += static_cast<int>(plan.stages[s].size());
+    EXPECT_TRUE(net.cut_allowed_after(pos)) << "cut after node " << pos;
+  }
+}
+
+TEST_F(PartitionTest, SixStagesAreReasonablyBalanced) {
+  const auto net = resnet18();
+  const auto plan = partition_into_stages(net, cost_, 6);
+  double mx = 0.0;
+  double total = 0.0;
+  for (const auto& st : plan.stages) {
+    const double w = stage_work_seconds(net, cost_, st);
+    mx = std::max(mx, w);
+    total += w;
+  }
+  // Bottleneck within 2.2x of the ideal equal split (ResNet18's legal cut
+  // set limits what any balancer can achieve).
+  EXPECT_LE(mx, 2.2 * total / 6.0);
+}
+
+TEST_F(PartitionTest, OneStageIsWholeNetwork) {
+  const auto net = resnet18();
+  const auto plan = partition_into_stages(net, cost_, 1);
+  ASSERT_EQ(plan.stage_count(), 1);
+  EXPECT_EQ(static_cast<int>(plan.stages[0].size()), net.node_count());
+}
+
+TEST_F(PartitionTest, RequestingMoreStagesThanCutsSaturates) {
+  const auto net = lenet5();  // 11 linear-chain nodes -> at most 11 stages
+  const auto plan = partition_into_stages(net, cost_, 100);
+  EXPECT_EQ(plan.stage_count(), net.node_count());
+  expect_valid_partition(net, plan);
+}
+
+TEST_F(PartitionTest, DpBeatsNaiveChunkingOnBottleneck) {
+  // Compare against splitting the topo order into equal node-count chunks
+  // at legal boundaries (greedy), for the conv-heavy vgg11.
+  const auto net = vgg11();
+  const auto plan = partition_into_stages(net, cost_, 4);
+  double dp_bottleneck = 0.0;
+  for (const auto& st : plan.stages) {
+    dp_bottleneck =
+        std::max(dp_bottleneck, stage_work_seconds(net, cost_, st));
+  }
+  // Naive: every ceil(n/4) nodes.
+  const int n = net.node_count();
+  double naive_bottleneck = 0.0;
+  const int chunk = (n + 3) / 4;
+  for (int lo = 0; lo < n; lo += chunk) {
+    std::vector<NodeId> st;
+    for (int i = lo; i < std::min(n, lo + chunk); ++i) st.push_back(i);
+    naive_bottleneck =
+        std::max(naive_bottleneck, stage_work_seconds(net, cost_, st));
+  }
+  EXPECT_LE(dp_bottleneck, naive_bottleneck + 1e-12);
+}
+
+TEST_F(PartitionTest, StageKernelsMatchLayers) {
+  const auto net = resnet18();
+  const auto plan = partition_into_stages(net, cost_, 6);
+  const auto kernels = stage_kernels(net, cost_, plan.stages[0], 42);
+  ASSERT_EQ(kernels.size(), plan.stages[0].size());
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& l = net.layer(plan.stages[0][i]);
+    EXPECT_EQ(kernels[i].op, l.op);
+    EXPECT_EQ(kernels[i].label, l.name);
+    EXPECT_EQ(kernels[i].tag, 42u);
+    EXPECT_NEAR(kernels[i].work_sm_seconds, cost_.work_seconds(l), 1e-15);
+  }
+}
+
+// Parameterized sweep over stage counts and networks.
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionSweep, AlwaysProducesValidPartition) {
+  const auto [net_idx, stages] = GetParam();
+  const Network net = [&] {
+    switch (net_idx) {
+      case 0: return resnet18();
+      case 1: return resnet34();
+      case 2: return vgg11();
+      case 3: return mobilenet_like();
+      default: return lenet5();
+    }
+  }();
+  const auto cost = CostModel::calibrated();
+  const auto plan = partition_into_stages(net, cost, stages);
+  EXPECT_GE(plan.stage_count(), 1);
+  EXPECT_LE(plan.stage_count(), stages);
+  expect_valid_partition(net, plan);
+  // Work conservation: stage works sum to the network total.
+  double total = 0.0;
+  for (const auto& st : plan.stages) {
+    total += stage_work_seconds(net, cost, st);
+  }
+  double expected = 0.0;
+  for (int i = 0; i < net.node_count(); ++i) {
+    expected += cost.work_seconds(net.layer(i));
+  }
+  EXPECT_NEAR(total, expected, 1e-9 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1, 2, 3, 6, 12)));
+
+}  // namespace
+}  // namespace sgprs::dnn

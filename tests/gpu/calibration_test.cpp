@@ -1,0 +1,67 @@
+// Locks the calibration targets derived from the paper (see
+// gpu/calibration.hpp for the rationale). If these fail after a constant
+// change, the figure reproductions will drift.
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+#include "dnn/profiler.hpp"
+#include "gpu/calibration.hpp"
+#include "gpu/speedup.hpp"
+
+namespace sgprs::gpu {
+namespace {
+
+TEST(Calibration, Resnet18EndToEndSpeedupNear23x) {
+  // Paper Fig. 1: ResNet18 overall speedup is "only 23x" at 68 SMs because
+  // non-conv layers dilute the conv gain.
+  const auto net = dnn::resnet18();
+  dnn::Profiler prof(rtx2080ti(), SpeedupModel::rtx2080ti(),
+                     dnn::CostModel::calibrated());
+  const double s = prof.network_speedup(net, 68);
+  EXPECT_GE(s, 20.0);
+  EXPECT_LE(s, 26.0);
+}
+
+TEST(Calibration, Resnet18FullGpuLatencyNear2point7ms) {
+  // Implied by the paper's scale: ~30 fps tasks, best pivot at 23-24 tasks,
+  // total FPS in the 700s -> single-inference full-GPU latency ~2-3 ms.
+  const auto net = dnn::resnet18();
+  dnn::Profiler prof(rtx2080ti(), SpeedupModel::rtx2080ti(),
+                     dnn::CostModel::calibrated());
+  dnn::StagePlan whole;
+  whole.stages.push_back(net.topo_order());
+  const auto table = prof.profile(net, whole, {68});
+  const double ms = table.total_at(68).to_ms();
+  EXPECT_GE(ms, 2.2);
+  EXPECT_LE(ms, 3.2);
+}
+
+TEST(Calibration, ConvDominatesRuntimeAtFullGpu) {
+  // The paper attributes ResNet18's overall curve to conv dominance.
+  const auto net = dnn::resnet18();
+  const auto cost = dnn::CostModel::calibrated();
+  const auto model = SpeedupModel::rtx2080ti();
+  double conv = 0.0;
+  double rest = 0.0;
+  for (int i = 0; i < net.node_count(); ++i) {
+    const auto& l = net.layer(i);
+    const double t = cost.work_seconds(l) / model.speedup(l.op, 68.0);
+    (l.op == OpClass::kConv ? conv : rest) += t;
+  }
+  EXPECT_GT(conv, rest);
+}
+
+TEST(Calibration, LaunchOverheadIsMicrosecondScale) {
+  EXPECT_GE(calibration::kLaunchOverheadSec, 1e-6);
+  EXPECT_LE(calibration::kLaunchOverheadSec, 20e-6);
+}
+
+TEST(Calibration, ThroughputTablesHaveAllOps) {
+  for (int i = 0; i < kOpClassCount; ++i) {
+    EXPECT_GT(calibration::kGflopsPerSm[i], 0.0) << kOpClassNames[i];
+    EXPECT_GE(calibration::kSpeedupAt68[i], 1.0) << kOpClassNames[i];
+  }
+}
+
+}  // namespace
+}  // namespace sgprs::gpu

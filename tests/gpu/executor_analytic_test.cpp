@@ -1,0 +1,145 @@
+// Cross-checks the processor-sharing executor against closed-form timing
+// for structured scenarios — the simulator's equivalent of validating a
+// model against a testbed.
+#include <gtest/gtest.h>
+
+#include "gpu/executor.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::gpu {
+namespace {
+
+using common::SimTime;
+
+SharingParams strict() {
+  SharingParams p;
+  p.interference_gamma = 0.0;
+  p.oversub_thrash_kappa = 0.0;
+  p.contention_exponent = 1.0;
+  return p;
+}
+
+// Sweep (op class, context size): a lone kernel's duration must equal
+// overhead + work / speedup(op, sms) exactly.
+class LoneKernelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LoneKernelSweep, DurationMatchesClosedForm) {
+  const auto [op_idx, sms] = GetParam();
+  sim::Engine engine;
+  Executor exec(engine, rtx2080ti(), SpeedupModel::rtx2080ti(), strict());
+  const auto ctx = exec.create_context(sms);
+  const auto s = exec.create_stream(ctx, StreamPriority::kHigh);
+  KernelDesc k;
+  k.op = static_cast<OpClass>(op_idx);
+  k.work_sm_seconds = 0.123;
+  k.overhead_seconds = 17e-6;
+  SimTime done;
+  exec.enqueue(s, k, [&](SimTime t) { done = t; });
+  engine.run();
+  const double expected =
+      17e-6 +
+      0.123 / SpeedupModel::rtx2080ti().speedup(k.op,
+                                                static_cast<double>(sms));
+  EXPECT_NEAR(done.to_sec(), expected, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsTimesSizes, LoneKernelSweep,
+    ::testing::Combine(::testing::Range(0, kOpClassCount),
+                       ::testing::Values(1, 8, 23, 34, 51, 68)));
+
+// Two-phase staggered start: kernel B arrives midway through kernel A.
+TEST(ExecutorAnalytic, StaggeredArrivalSplitsFromArrivalOnward) {
+  sim::Engine engine;
+  Executor exec(engine, rtx2080ti(), SpeedupModel::rtx2080ti(), strict());
+  const auto ctx = exec.create_context(68);
+  const auto s1 = exec.create_stream(ctx, StreamPriority::kLow);
+  const auto s2 = exec.create_stream(ctx, StreamPriority::kLow);
+  const auto& m = SpeedupModel::rtx2080ti();
+  const double r68 = m.speedup(OpClass::kConv, 68);
+  const double r34 = m.speedup(OpClass::kConv, 34);
+
+  SimTime a_done, b_done;
+  KernelDesc a;
+  a.op = OpClass::kConv;
+  a.work_sm_seconds = 2.0 * r68;  // 2 s alone
+  exec.enqueue(s1, a, [&](SimTime t) { a_done = t; });
+  // B arrives at t = 1 s with 1 s-alone of work.
+  engine.schedule_at(SimTime::from_sec(1), [&] {
+    KernelDesc b;
+    b.op = OpClass::kConv;
+    b.work_sm_seconds = 1.0 * r68;
+    exec.enqueue(s2, b, [&](SimTime t) { b_done = t; });
+  });
+  engine.run();
+  // Phase 1 (0..1 s): A alone at r68, does half its work.
+  // Phase 2 (1 s..): both at r34. A needs r68/r34 more seconds, B needs
+  // the same; they tie.
+  const double phase2 = 1.0 * r68 / r34;
+  EXPECT_NEAR(a_done.to_sec(), 1.0 + phase2, 1e-6);
+  EXPECT_NEAR(b_done.to_sec(), 1.0 + phase2, 1e-6);
+}
+
+// Overhead phases do not contend: N concurrent kernels that are all
+// overhead finish in exactly the overhead time.
+TEST(ExecutorAnalytic, OverheadPhasesRunAtUnitRateConcurrently) {
+  sim::Engine engine;
+  Executor exec(engine, rtx2080ti(), SpeedupModel::rtx2080ti(), strict());
+  const auto ctx = exec.create_context(8);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    const auto s = exec.create_stream(ctx, StreamPriority::kLow);
+    KernelDesc k;
+    k.op = OpClass::kConv;
+    k.overhead_seconds = 1e-3;
+    exec.enqueue(s, k, [&](SimTime t) { done.push_back(t); });
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 4u);
+  for (const auto& d : done) EXPECT_NEAR(d.to_ms(), 1.0, 1e-9);
+}
+
+// Work conservation under the *calibrated* (lossy) sharing params: rates
+// shrink but submitted work still completes exactly.
+TEST(ExecutorAnalytic, LossyRatesStillConserveWork) {
+  sim::Engine engine;
+  Executor exec(engine, rtx2080ti(), SpeedupModel::rtx2080ti(),
+                SharingParams{});
+  const auto c1 = exec.create_context(68);
+  const auto c2 = exec.create_context(68);
+  double submitted = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const auto s = exec.create_stream(i % 2 ? c1 : c2,
+                                      StreamPriority::kLow);
+    KernelDesc k;
+    k.op = OpClass::kConv;
+    k.work_sm_seconds = 0.05 * (i + 1);
+    submitted += k.work_sm_seconds;
+    exec.enqueue(s, k, {});
+  }
+  engine.run();
+  EXPECT_NEAR(exec.total_work_done(), submitted, 1e-9 * submitted + 1e-9);
+}
+
+// The interference factor slows wall-clock completion measurably.
+TEST(ExecutorAnalytic, CalibratedParamsSlowerThanStrict) {
+  auto makespan = [](SharingParams p) {
+    sim::Engine engine;
+    Executor exec(engine, rtx2080ti(), SpeedupModel::rtx2080ti(), p);
+    const auto ctx = exec.create_context(68);
+    for (int i = 0; i < 4; ++i) {
+      const auto s = exec.create_stream(ctx, StreamPriority::kLow);
+      KernelDesc k;
+      k.op = OpClass::kConv;
+      k.work_sm_seconds = 1.0;
+      exec.enqueue(s, k, {});
+    }
+    engine.run();
+    return engine.now().to_sec();
+  };
+  EXPECT_GT(makespan(SharingParams{}), makespan(strict()));
+}
+
+}  // namespace
+}  // namespace sgprs::gpu

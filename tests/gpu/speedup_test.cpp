@@ -1,0 +1,119 @@
+#include "gpu/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "gpu/calibration.hpp"
+
+namespace sgprs::gpu {
+namespace {
+
+class SpeedupAllOps : public ::testing::TestWithParam<int> {
+ protected:
+  SpeedupModel model_ = SpeedupModel::rtx2080ti();
+  OpClass op() const { return static_cast<OpClass>(GetParam()); }
+};
+
+TEST_P(SpeedupAllOps, OneSmIsUnity) {
+  EXPECT_NEAR(model_.speedup(op(), 1.0), 1.0, 1e-12);
+}
+
+TEST_P(SpeedupAllOps, HitsCalibratedValueAtReference) {
+  const double target = calibration::kSpeedupAt68[GetParam()];
+  EXPECT_NEAR(model_.speedup(op(), 68.0), target, 1e-9);
+}
+
+TEST_P(SpeedupAllOps, MonotoneInSms) {
+  double prev = 0.0;
+  for (int m = 1; m <= 68; ++m) {
+    const double s = model_.speedup(op(), static_cast<double>(m));
+    EXPECT_GT(s, prev) << "op " << to_string(op()) << " at m=" << m;
+    prev = s;
+  }
+}
+
+TEST_P(SpeedupAllOps, ConcaveDiminishingReturns) {
+  // Marginal gain per added SM must shrink.
+  double prev_gain = 1e9;
+  for (int m = 2; m <= 68; ++m) {
+    const double gain = model_.speedup(op(), m) - model_.speedup(op(), m - 1);
+    EXPECT_LE(gain, prev_gain + 1e-12)
+        << "op " << to_string(op()) << " at m=" << m;
+    prev_gain = gain;
+  }
+}
+
+TEST_P(SpeedupAllOps, NeverExceedsLinear) {
+  for (int m = 1; m <= 68; ++m) {
+    EXPECT_LE(model_.speedup(op(), m), static_cast<double>(m) + 1e-9);
+  }
+}
+
+TEST_P(SpeedupAllOps, FractionalSmsDegradeLinearlyBelowOne) {
+  EXPECT_NEAR(model_.speedup(op(), 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(model_.speedup(op(), 0.25), 0.25, 1e-12);
+}
+
+TEST_P(SpeedupAllOps, ZeroOrNegativeSmsIsZero) {
+  EXPECT_DOUBLE_EQ(model_.speedup(op(), 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.speedup(op(), -3.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SpeedupAllOps,
+                         ::testing::Range(0, kOpClassCount),
+                         [](const auto& info) {
+                           return kOpClassNames[info.param];
+                         });
+
+TEST(Speedup, PaperFig1Endpoints) {
+  const auto m = SpeedupModel::rtx2080ti();
+  // Paper: conv reaches 32x, maxpool 14x, others below 7x.
+  EXPECT_NEAR(m.speedup(OpClass::kConv, 68), 32.0, 1e-9);
+  EXPECT_NEAR(m.speedup(OpClass::kMaxPool, 68), 14.0, 1e-9);
+  for (int i = 0; i < kOpClassCount; ++i) {
+    const auto op = static_cast<OpClass>(i);
+    if (op == OpClass::kConv || op == OpClass::kMaxPool) continue;
+    EXPECT_LE(m.speedup(op, 68), 7.0 + 1e-9) << kOpClassNames[i];
+  }
+}
+
+TEST(Speedup, ConvScalesBestEverywhere) {
+  const auto m = SpeedupModel::rtx2080ti();
+  for (int sms : {2, 4, 8, 16, 32, 68}) {
+    for (int i = 0; i < kOpClassCount; ++i) {
+      const auto op = static_cast<OpClass>(i);
+      if (op == OpClass::kConv) continue;
+      EXPECT_GE(m.speedup(OpClass::kConv, sms), m.speedup(op, sms))
+          << "at " << sms << " SMs vs " << kOpClassNames[i];
+    }
+  }
+}
+
+TEST(Speedup, ParallelFractionInUnitInterval) {
+  const auto m = SpeedupModel::rtx2080ti();
+  for (int i = 0; i < kOpClassCount; ++i) {
+    const double f = m.parallel_fraction(static_cast<OpClass>(i));
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+TEST(Speedup, CustomReferencePoint) {
+  std::array<double, kOpClassCount> targets{};
+  targets.fill(8.0);
+  const SpeedupModel m(targets, 16);
+  for (int i = 0; i < kOpClassCount; ++i) {
+    EXPECT_NEAR(m.speedup(static_cast<OpClass>(i), 16.0), 8.0, 1e-9);
+  }
+}
+
+TEST(Speedup, RejectsImpossibleTargets) {
+  std::array<double, kOpClassCount> targets{};
+  targets.fill(100.0);  // > reference SM count: super-linear, rejected
+  EXPECT_THROW(SpeedupModel(targets, 68), common::CheckError);
+  targets.fill(0.5);  // < 1: slowdown, rejected
+  EXPECT_THROW(SpeedupModel(targets, 68), common::CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::gpu

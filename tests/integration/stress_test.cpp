@@ -1,0 +1,169 @@
+// Stress and property tests: randomized workloads hammering the full
+// stack, checking global invariants rather than point values.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dnn/builders.hpp"
+#include "rt/runner.hpp"
+#include "rt/sgprs_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/taskset.hpp"
+
+namespace sgprs {
+namespace {
+
+using common::SimTime;
+
+// Property: for any random kernel soup, the executor conserves work and
+// retires every kernel.
+class ExecutorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorFuzz, WorkConservationUnderRandomLoad) {
+  common::Rng rng(GetParam());
+  sim::Engine engine;
+  gpu::Executor exec(engine, gpu::rtx2080ti(),
+                     gpu::SpeedupModel::rtx2080ti(), gpu::SharingParams{});
+  // Random pool shape.
+  const int n_ctx = static_cast<int>(rng.uniform_int(1, 4));
+  std::vector<gpu::StreamId> streams;
+  for (int c = 0; c < n_ctx; ++c) {
+    const auto ctx =
+        exec.create_context(static_cast<int>(rng.uniform_int(4, 68)));
+    const int n_streams = static_cast<int>(rng.uniform_int(1, 4));
+    for (int s = 0; s < n_streams; ++s) {
+      streams.push_back(exec.create_stream(
+          ctx, rng.next_double() < 0.5 ? gpu::StreamPriority::kHigh
+                                       : gpu::StreamPriority::kLow));
+    }
+  }
+  double submitted = 0.0;
+  int completions = 0;
+  const int kKernels = 300;
+  for (int i = 0; i < kKernels; ++i) {
+    gpu::KernelDesc k;
+    k.op = static_cast<gpu::OpClass>(rng.uniform_int(0, 8));
+    k.work_sm_seconds = rng.uniform(0.0, 0.01);
+    k.overhead_seconds = rng.uniform(0.0, 2e-5);
+    submitted += k.work_sm_seconds;
+    const auto s = streams[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(streams.size()) - 1))];
+    exec.enqueue(s, k, [&completions](SimTime) { ++completions; });
+  }
+  engine.run();
+  EXPECT_EQ(completions, kKernels);
+  EXPECT_NEAR(exec.total_work_done(), submitted,
+              1e-9 + 1e-9 * submitted);
+  EXPECT_EQ(exec.running_kernel_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: for any random task set, the scheduler accounts for every
+// release (completed + dropped + still-in-flight-at-horizon).
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, EveryReleaseAccounted) {
+  sim::Engine engine;
+  gpu::Executor exec(engine, gpu::rtx2080ti(),
+                     gpu::SpeedupModel::rtx2080ti(), gpu::SharingParams{});
+  gpu::ContextPoolConfig pc;
+  pc.num_contexts = 3;
+  pc.oversubscription = 1.5;
+  gpu::ContextPool pool(exec, pc);
+  metrics::Collector collector;  // no warm-up: count everything
+  rt::SgprsConfig scfg;
+  scfg.max_in_flight_per_task = 2;
+  rt::SgprsScheduler sched(exec, pool, collector, scfg);
+
+  dnn::Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                     dnn::CostModel::calibrated());
+  workload::RandomTaskSetConfig tcfg;
+  tcfg.count = 14;
+  tcfg.total_utilization = 3.0;  // overload: drops will happen
+  tcfg.seed = GetParam();
+  auto tasks =
+      workload::build_random_taskset(tcfg, prof, {pool.at(0).sm_limit});
+
+  rt::RunnerConfig rc;
+  rc.duration = SimTime::from_sec(1.0);
+  rt::Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  const int in_flight = sched.jobs_in_flight();
+  engine.run();  // drain the tail
+  EXPECT_EQ(sched.jobs_in_flight(), 0);
+
+  const auto s = collector.aggregate(SimTime::from_sec(1.0));
+  EXPECT_EQ(s.counts.released, runner.releases_issued());
+  EXPECT_EQ(s.counts.released, s.counts.completed() + s.counts.dropped);
+  EXPECT_GE(in_flight, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Determinism: the full stack is bit-reproducible for a fixed seed.
+TEST(StressDeterminism, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    sim::Engine engine;
+    gpu::Executor exec(engine, gpu::rtx2080ti(),
+                       gpu::SpeedupModel::rtx2080ti(), gpu::SharingParams{});
+    gpu::ContextPoolConfig pc;
+    pc.num_contexts = 2;
+    pc.oversubscription = 2.0;
+    gpu::ContextPool pool(exec, pc);
+    metrics::Collector collector;
+    rt::SgprsScheduler sched(exec, pool, collector);
+    dnn::Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                       dnn::CostModel::calibrated());
+    workload::RandomTaskSetConfig tcfg;
+    tcfg.count = 10;
+    tcfg.total_utilization = 2.0;
+    auto tasks =
+        workload::build_random_taskset(tcfg, prof, {pool.at(0).sm_limit});
+    rt::RunnerConfig rc;
+    rc.duration = SimTime::from_ms(800);
+    rt::Runner runner(engine, sched, tasks, rc);
+    runner.run();
+    engine.run();
+    return std::tuple{engine.processed_count(), exec.total_work_done(),
+                      sched.stage_migrations(),
+                      collector.aggregate(SimTime::from_ms(800)).fps};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Long-horizon soak: no drift, no leak of in-flight bookkeeping.
+TEST(StressSoak, TenSimulatedSecondsStayConsistent) {
+  sim::Engine engine;
+  gpu::Executor exec(engine, gpu::rtx2080ti(),
+                     gpu::SpeedupModel::rtx2080ti(), gpu::SharingParams{});
+  gpu::ContextPoolConfig pc;
+  pc.num_contexts = 2;
+  pc.oversubscription = 1.5;
+  gpu::ContextPool pool(exec, pc);
+  metrics::Collector collector(SimTime::from_sec(1));
+  rt::SgprsScheduler sched(exec, pool, collector);
+  dnn::Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                     dnn::CostModel::calibrated());
+  auto net = std::make_shared<const dnn::Network>(dnn::resnet18());
+  std::vector<rt::Task> tasks;
+  for (int i = 0; i < 18; ++i) {
+    tasks.push_back(rt::build_task(i, net, {}, prof, {pool.at(0).sm_limit}));
+  }
+  rt::RunnerConfig rc;
+  rc.duration = SimTime::from_sec(10.0);
+  rt::Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  engine.run();
+  const auto s = collector.aggregate(SimTime::from_sec(10.0));
+  // 18 tasks x 30 fps x 9 s window, all on time at this load.
+  EXPECT_NEAR(static_cast<double>(s.counts.completed()), 18 * 30 * 9, 40.0);
+  EXPECT_DOUBLE_EQ(s.dmr, 0.0);
+  EXPECT_EQ(sched.jobs_in_flight(), 0);
+}
+
+}  // namespace
+}  // namespace sgprs

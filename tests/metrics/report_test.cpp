@@ -1,0 +1,51 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace sgprs::metrics {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), common::CheckError);
+}
+
+TEST(Table, FmtAndPct) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(750.0, 0), "750");
+  EXPECT_EQ(Table::pct(0.385, 1), "38.5%");
+  EXPECT_EQ(Table::pct(0.0), "0.0%");
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), common::CheckError);
+}
+
+TEST(Table, NumbersRightAlignedFirstColumnLeft) {
+  Table t({"row", "v"});
+  t.add_row({"x", "123"});
+  std::ostringstream os;
+  t.print(os);
+  // The value column header "v" is right-aligned against width 3.
+  EXPECT_NE(os.str().find("row    v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgprs::metrics

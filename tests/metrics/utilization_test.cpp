@@ -1,0 +1,118 @@
+#include "metrics/utilization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "gpu/executor.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::metrics {
+namespace {
+
+using common::SimTime;
+
+gpu::KernelDesc k() {
+  gpu::KernelDesc d;
+  d.op = gpu::OpClass::kConv;
+  return d;
+}
+
+TEST(Utilization, SingleKernelBusyFraction) {
+  UtilizationTracker u;
+  u.on_kernel_start(SimTime::from_ms(10), 0, 0, k());
+  u.on_kernel_end(SimTime::from_ms(30), 0, 0, k());
+  // Busy 20 ms of a 100 ms window.
+  EXPECT_NEAR(u.context_busy_fraction(0, SimTime::zero(),
+                                      SimTime::from_ms(100)),
+              0.2, 1e-12);
+}
+
+TEST(Utilization, OverlappingKernelsCountOnceForBusy) {
+  UtilizationTracker u;
+  u.on_kernel_start(SimTime::from_ms(0), 0, 0, k());
+  u.on_kernel_start(SimTime::from_ms(5), 0, 1, k());
+  u.on_kernel_end(SimTime::from_ms(10), 0, 0, k());
+  u.on_kernel_end(SimTime::from_ms(20), 0, 1, k());
+  EXPECT_NEAR(u.context_busy_fraction(0, SimTime::zero(),
+                                      SimTime::from_ms(20)),
+              1.0, 1e-12);
+  // Mean concurrency: (5ms*1 + 5ms*2 + 10ms*1) / 20ms = 1.25.
+  EXPECT_NEAR(u.mean_concurrency(0, SimTime::zero(), SimTime::from_ms(20)),
+              1.25, 1e-12);
+}
+
+TEST(Utilization, WindowClipsPartialOverlap) {
+  UtilizationTracker u;
+  u.on_kernel_start(SimTime::from_ms(0), 0, 0, k());
+  u.on_kernel_end(SimTime::from_ms(50), 0, 0, k());
+  // Window [40, 60]: busy only during [40, 50].
+  EXPECT_NEAR(u.context_busy_fraction(0, SimTime::from_ms(40),
+                                      SimTime::from_ms(60)),
+              0.5, 1e-12);
+}
+
+TEST(Utilization, OpenTailCountsAsRunning) {
+  UtilizationTracker u;
+  u.on_kernel_start(SimTime::from_ms(10), 0, 0, k());
+  // Never ends: busy from 10 onward.
+  EXPECT_NEAR(u.context_busy_fraction(0, SimTime::zero(),
+                                      SimTime::from_ms(20)),
+              0.5, 1e-12);
+}
+
+TEST(Utilization, ContextsIndependent) {
+  UtilizationTracker u;
+  u.on_kernel_start(SimTime::zero(), 0, 0, k());
+  u.on_kernel_end(SimTime::from_ms(10), 0, 0, k());
+  u.on_kernel_start(SimTime::zero(), 1, 0, k());
+  u.on_kernel_end(SimTime::from_ms(40), 1, 0, k());
+  const auto w = SimTime::from_ms(40);
+  EXPECT_NEAR(u.context_busy_fraction(0, SimTime::zero(), w), 0.25, 1e-12);
+  EXPECT_NEAR(u.context_busy_fraction(1, SimTime::zero(), w), 1.0, 1e-12);
+  EXPECT_EQ(u.contexts(), (std::vector<int>{0, 1}));
+}
+
+TEST(Utilization, UnseenContextIsZero) {
+  UtilizationTracker u;
+  EXPECT_DOUBLE_EQ(u.context_busy_fraction(5, SimTime::zero(),
+                                           SimTime::from_ms(1)),
+                   0.0);
+}
+
+TEST(Utilization, EndWithoutStartThrows) {
+  UtilizationTracker u;
+  EXPECT_THROW(u.on_kernel_end(SimTime::zero(), 0, 0, k()),
+               common::CheckError);
+}
+
+TEST(Utilization, IntegratesWithExecutor) {
+  sim::Engine engine;
+  gpu::SharingParams sp;
+  sp.interference_gamma = 0.0;
+  sp.oversub_thrash_kappa = 0.0;
+  sp.contention_exponent = 1.0;
+  gpu::Executor exec(engine, gpu::rtx2080ti(),
+                     gpu::SpeedupModel::rtx2080ti(), sp);
+  UtilizationTracker u;
+  exec.set_trace_sink(&u);
+  const auto ctx = exec.create_context(68);
+  const auto s = exec.create_stream(ctx, gpu::StreamPriority::kHigh);
+  gpu::KernelDesc kd;
+  kd.op = gpu::OpClass::kConv;
+  kd.work_sm_seconds = 32.0;  // exactly 1 s at 68 SMs (32x speedup)
+  exec.enqueue(s, kd, {});
+  engine.run_until(SimTime::from_sec(2));
+  EXPECT_NEAR(u.context_busy_fraction(ctx, SimTime::zero(),
+                                      SimTime::from_sec(2)),
+              0.5, 1e-6);
+}
+
+TEST(Utilization, InvalidWindowThrows) {
+  UtilizationTracker u;
+  EXPECT_THROW(
+      u.context_busy_fraction(0, SimTime::from_ms(2), SimTime::from_ms(1)),
+      common::CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::metrics

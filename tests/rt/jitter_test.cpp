@@ -1,0 +1,118 @@
+// Release-jitter behaviour of the Runner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dnn/builders.hpp"
+#include "rt/runner.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::rt {
+namespace {
+
+using common::SimTime;
+
+class JitterRecorder final : public Scheduler {
+ public:
+  void admit(const Task&) override {}
+  void release_job(const Task& task, SimTime now) override {
+    releases.emplace_back(task.id, now);
+  }
+  int jobs_in_flight() const override { return 0; }
+  std::string name() const override { return "rec"; }
+  std::vector<std::pair<int, SimTime>> releases;
+};
+
+Task tiny_task(int id, double fps) {
+  static auto net = std::make_shared<const dnn::Network>(dnn::lenet5());
+  dnn::Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                     dnn::CostModel::calibrated());
+  TaskConfig cfg;
+  cfg.fps = fps;
+  cfg.num_stages = 1;
+  return build_task(id, net, cfg, prof, {34});
+}
+
+TEST(Jitter, ZeroJitterIsExactlyPeriodic) {
+  sim::Engine engine;
+  JitterRecorder rec;
+  std::vector<Task> tasks = {tiny_task(0, 100)};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(50);
+  Runner runner(engine, rec, tasks, rc);
+  runner.run();
+  for (std::size_t i = 0; i < rec.releases.size(); ++i) {
+    EXPECT_EQ(rec.releases[i].second, SimTime::from_ms(10.0 * i));
+  }
+}
+
+TEST(Jitter, JitterDelaysButNeverReorders) {
+  sim::Engine engine;
+  JitterRecorder rec;
+  std::vector<Task> tasks = {tiny_task(0, 100)};  // 10 ms period
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(200);
+  rc.release_jitter = SimTime::from_ms(4);
+  Runner runner(engine, rec, tasks, rc);
+  runner.run();
+  ASSERT_GE(rec.releases.size(), 10u);
+  SimTime prev = SimTime::zero() - SimTime::from_ms(1);
+  for (std::size_t i = 0; i < rec.releases.size(); ++i) {
+    const SimTime base = SimTime::from_ms(10.0 * i);
+    EXPECT_GE(rec.releases[i].second, base) << "never early";
+    EXPECT_LE(rec.releases[i].second, base + SimTime::from_ms(4))
+        << "bounded delay";
+    EXPECT_GT(rec.releases[i].second, prev) << "monotone";
+    prev = rec.releases[i].second;
+  }
+}
+
+TEST(Jitter, ActuallyPerturbsSchedule) {
+  auto release_times = [](SimTime jitter) {
+    sim::Engine engine;
+    JitterRecorder rec;
+    std::vector<Task> tasks = {tiny_task(0, 100)};
+    RunnerConfig rc;
+    rc.duration = SimTime::from_ms(100);
+    rc.release_jitter = jitter;
+    Runner runner(engine, rec, tasks, rc);
+    runner.run();
+    std::vector<SimTime> out;
+    for (auto& [id, t] : rec.releases) out.push_back(t);
+    return out;
+  };
+  EXPECT_NE(release_times(SimTime::zero()),
+            release_times(SimTime::from_ms(3)));
+}
+
+TEST(Jitter, SeedDeterminism) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    sim::Engine engine;
+    JitterRecorder rec;
+    std::vector<Task> tasks = {tiny_task(0, 100)};
+    RunnerConfig rc;
+    rc.duration = SimTime::from_ms(100);
+    rc.release_jitter = SimTime::from_ms(3);
+    rc.jitter_seed = seed;
+    Runner runner(engine, rec, tasks, rc);
+    runner.run();
+    std::vector<SimTime> out;
+    for (auto& [id, t] : rec.releases) out.push_back(t);
+    return out;
+  };
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+  EXPECT_NE(run_with_seed(7), run_with_seed(8));
+}
+
+TEST(Jitter, JitterAbovePeriodRejected) {
+  sim::Engine engine;
+  JitterRecorder rec;
+  std::vector<Task> tasks = {tiny_task(0, 100)};  // 10 ms period
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(100);
+  rc.release_jitter = SimTime::from_ms(12);
+  EXPECT_THROW(Runner(engine, rec, tasks, rc), common::CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::rt

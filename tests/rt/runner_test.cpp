@@ -1,0 +1,120 @@
+#include "rt/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dnn/builders.hpp"
+#include "rt/naive_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::rt {
+namespace {
+
+using common::SimTime;
+
+// A scheduler stub that records release instants.
+class RecordingScheduler final : public Scheduler {
+ public:
+  void admit(const Task& task) override { admitted.push_back(task.id); }
+  void release_job(const Task& task, SimTime now) override {
+    releases.emplace_back(task.id, now);
+  }
+  int jobs_in_flight() const override { return 0; }
+  std::string name() const override { return "recording"; }
+
+  std::vector<int> admitted;
+  std::vector<std::pair<int, SimTime>> releases;
+};
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  Task make_task(int id, double fps, SimTime phase = SimTime::zero()) {
+    if (!network_) {
+      network_ = std::make_shared<const dnn::Network>(dnn::lenet5());
+    }
+    dnn::Profiler prof(gpu::rtx2080ti(), gpu::SpeedupModel::rtx2080ti(),
+                       dnn::CostModel::calibrated());
+    TaskConfig cfg;
+    cfg.fps = fps;
+    cfg.num_stages = 2;
+    Task t = build_task(id, network_, cfg, prof, {34});
+    t.phase = phase;
+    return t;
+  }
+  std::shared_ptr<const dnn::Network> network_;
+};
+
+TEST_F(RunnerTest, AdmitsEveryTaskUpFront) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 30), make_task(1, 30)};
+  Runner runner(engine, sched, tasks, {});
+  EXPECT_EQ(sched.admitted, (std::vector<int>{0, 1}));
+}
+
+TEST_F(RunnerTest, PeriodicReleasesAtExactInstants) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 100)};  // 10 ms period
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(35);
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  ASSERT_EQ(sched.releases.size(), 4u);  // t = 0, 10, 20, 30
+  for (std::size_t k = 0; k < sched.releases.size(); ++k) {
+    EXPECT_EQ(sched.releases[k].second, SimTime::from_ms(10.0 * k));
+  }
+  EXPECT_EQ(runner.releases_issued(), 4);
+}
+
+TEST_F(RunnerTest, PhaseOffsetsFirstRelease) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 100, SimTime::from_ms(4))};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(25);
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  ASSERT_EQ(sched.releases.size(), 3u);  // t = 4, 14, 24
+  EXPECT_EQ(sched.releases[0].second, SimTime::from_ms(4));
+}
+
+TEST_F(RunnerTest, NoReleasesAtOrPastHorizon) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 100)};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(10);  // release at exactly 10 is excluded
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  EXPECT_EQ(sched.releases.size(), 1u);  // only t = 0
+  EXPECT_EQ(engine.now(), SimTime::from_ms(10)) << "clock parked at horizon";
+}
+
+TEST_F(RunnerTest, MultipleTasksInterleave) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 100), make_task(1, 50)};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(41);
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  int t0 = 0;
+  int t1 = 0;
+  for (const auto& [id, at] : sched.releases) (id == 0 ? t0 : t1)++;
+  EXPECT_EQ(t0, 5);  // 0,10,20,30,40
+  EXPECT_EQ(t1, 3);  // 0,20,40
+}
+
+TEST_F(RunnerTest, ZeroDurationRejected) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  std::vector<Task> tasks = {make_task(0, 30)};
+  RunnerConfig rc;
+  rc.duration = SimTime::zero();
+  EXPECT_THROW(Runner(engine, sched, tasks, rc), common::CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::rt

@@ -1,0 +1,123 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgprs::workload {
+namespace {
+
+using common::SimTime;
+
+ScenarioConfig quick(SchedulerKind kind, int tasks, int contexts = 2,
+                     double os = 1.0) {
+  ScenarioConfig cfg;
+  cfg.scheduler = kind;
+  cfg.num_contexts = contexts;
+  cfg.oversubscription = os;
+  cfg.num_tasks = tasks;
+  cfg.duration = SimTime::from_sec(1.0);
+  cfg.warmup = SimTime::from_ms(200);
+  return cfg;
+}
+
+TEST(Scenario, LowLoadMeetsEveryDeadlineBothSchedulers) {
+  for (auto kind : {SchedulerKind::kSgprs, SchedulerKind::kNaive}) {
+    const auto r = run_scenario(quick(kind, 4));
+    EXPECT_DOUBLE_EQ(r.dmr(), 0.0) << to_string(kind);
+    EXPECT_NEAR(r.fps(), 120.0, 6.0) << to_string(kind);
+    EXPECT_EQ(static_cast<int>(r.per_task.size()), 4);
+  }
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const auto a = run_scenario(quick(SchedulerKind::kSgprs, 10));
+  const auto b = run_scenario(quick(SchedulerKind::kSgprs, 10));
+  EXPECT_EQ(a.aggregate.counts.released, b.aggregate.counts.released);
+  EXPECT_DOUBLE_EQ(a.fps(), b.fps());
+  EXPECT_DOUBLE_EQ(a.dmr(), b.dmr());
+  EXPECT_EQ(a.stage_migrations, b.stage_migrations);
+}
+
+TEST(Scenario, SeedChangesPhasesButNotHealth) {
+  auto cfg = quick(SchedulerKind::kSgprs, 8);
+  const auto a = run_scenario(cfg);
+  cfg.seed = 999;
+  const auto b = run_scenario(cfg);
+  // Different phases -> different event interleavings, same zero-miss
+  // behaviour at low load.
+  EXPECT_DOUBLE_EQ(a.dmr(), 0.0);
+  EXPECT_DOUBLE_EQ(b.dmr(), 0.0);
+}
+
+TEST(Scenario, SgprsOutlastsNaivePivot) {
+  // The paper's central claim at sweep granularity: there is a task count
+  // where the naive scheduler misses deadlines but SGPRS does not.
+  const int n = 19;
+  const auto naive = run_scenario(quick(SchedulerKind::kNaive, n));
+  const auto sgprs = run_scenario(quick(SchedulerKind::kSgprs, n, 2, 2.0));
+  EXPECT_GT(naive.dmr(), 0.05);
+  EXPECT_DOUBLE_EQ(sgprs.dmr(), 0.0);
+  EXPECT_GT(sgprs.fps(), naive.fps());
+}
+
+TEST(Scenario, NaiveIgnoresOversubscription) {
+  const auto a = run_scenario(quick(SchedulerKind::kNaive, 10, 2, 1.0));
+  const auto b = run_scenario(quick(SchedulerKind::kNaive, 10, 2, 2.0));
+  EXPECT_DOUBLE_EQ(a.fps(), b.fps()) << "naive pool is always os=1.0";
+}
+
+TEST(Scenario, MigrationCountersOnlyForSgprs) {
+  const auto naive = run_scenario(quick(SchedulerKind::kNaive, 6));
+  EXPECT_EQ(naive.stage_migrations, 0);
+  const auto sgprs = run_scenario(quick(SchedulerKind::kSgprs, 6));
+  EXPECT_GT(sgprs.stage_migrations, 0);
+}
+
+TEST(Scenario, CustomNetworkBuilder) {
+  auto cfg = quick(SchedulerKind::kSgprs, 2);
+  cfg.network_builder = [] { return dnn::lenet5(); };
+  cfg.num_stages = 3;
+  const auto r = run_scenario(cfg);
+  EXPECT_DOUBLE_EQ(r.dmr(), 0.0);
+  EXPECT_NEAR(r.fps(), 60.0, 3.0);
+}
+
+TEST(Scenario, SweepProducesOneResultPerCount) {
+  auto cfg = quick(SchedulerKind::kSgprs, 1);
+  cfg.duration = SimTime::from_ms(600);
+  cfg.warmup = SimTime::from_ms(100);
+  const auto sweep = sweep_num_tasks(cfg, 2, 6);
+  ASSERT_EQ(sweep.size(), 5u);
+  // FPS grows linearly with task count below the pivot.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_NEAR(sweep[i].fps(), 30.0 * (2 + static_cast<int>(i)), 6.0);
+  }
+}
+
+TEST(Scenario, FindPivotIdentifiesFirstMiss) {
+  // Synthesize sweep results rather than running 20 simulations.
+  std::vector<ScenarioResult> sweep(5);
+  for (auto& r : sweep) r.aggregate.dmr = 0.0;
+  EXPECT_EQ(find_pivot(sweep, 10), 14) << "no misses -> last count";
+  sweep[3].aggregate.dmr = 0.02;
+  sweep[4].aggregate.dmr = 0.10;
+  EXPECT_EQ(find_pivot(sweep, 10), 12);
+  sweep[0].aggregate.dmr = 0.5;
+  EXPECT_EQ(find_pivot(sweep, 10), 9) << "missing from the start";
+}
+
+TEST(Scenario, GpuBusyAccountingPositive) {
+  const auto r = run_scenario(quick(SchedulerKind::kSgprs, 4));
+  EXPECT_GT(r.gpu_busy_sm_seconds, 0.0);
+  EXPECT_GT(r.sim_events, 0.0);
+}
+
+TEST(Scenario, InvalidConfigThrows) {
+  auto cfg = quick(SchedulerKind::kSgprs, 0);
+  EXPECT_THROW(run_scenario(cfg), common::CheckError);
+  auto cfg2 = quick(SchedulerKind::kSgprs, 1);
+  cfg2.warmup = cfg2.duration;
+  EXPECT_THROW(run_scenario(cfg2), common::CheckError);
+}
+
+}  // namespace
+}  // namespace sgprs::workload

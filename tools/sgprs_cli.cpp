@@ -1,0 +1,172 @@
+// sgprs_cli — run any scheduler/pool/workload combination from the command
+// line and print (or CSV-export) the paper's metrics.
+//
+// Examples:
+//   sgprs_cli --scheduler=sgprs --contexts=3 --oversub=1.5 --tasks=24
+//   sgprs_cli --scheduler=naive --tasks=20 --duration=5
+//   sgprs_cli --sweep=1:30 --csv=fig3.csv --contexts=2 --oversub=2.0
+//   sgprs_cli --network=resnet50 --tasks=8 --fps=15 --stages=8
+#include <fstream>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "metrics/report.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace sgprs;
+
+std::function<dnn::Network()> network_by_name(const std::string& name) {
+  if (name == "resnet18") return [] { return dnn::resnet18(); };
+  if (name == "resnet34") return [] { return dnn::resnet34(); };
+  if (name == "resnet50") return [] { return dnn::resnet50(); };
+  if (name == "alexnet") return [] { return dnn::alexnet(); };
+  if (name == "vgg11") return [] { return dnn::vgg11(); };
+  if (name == "mobilenet") return [] { return dnn::mobilenet_like(); };
+  if (name == "lenet5") return [] { return dnn::lenet5(); };
+  if (name == "mlp3") return [] { return dnn::mlp3(); };
+  return nullptr;
+}
+
+int run(const common::FlagParser& flags) {
+  workload::ScenarioConfig cfg;
+  const std::string sched = flags.get("scheduler");
+  if (sched == "sgprs") {
+    cfg.scheduler = workload::SchedulerKind::kSgprs;
+  } else if (sched == "naive") {
+    cfg.scheduler = workload::SchedulerKind::kNaive;
+  } else {
+    std::cerr << "unknown --scheduler (want sgprs|naive): " << sched << "\n";
+    return 1;
+  }
+  cfg.num_contexts = flags.get_int("contexts");
+  cfg.oversubscription = flags.get_double("oversub");
+  cfg.num_tasks = flags.get_int("tasks");
+  cfg.fps = flags.get_double("fps");
+  cfg.num_stages = flags.get_int("stages");
+  cfg.duration = common::SimTime::from_sec(flags.get_double("duration"));
+  cfg.warmup = common::SimTime::from_sec(flags.get_double("warmup"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.sgprs.medium_boost = flags.get_bool("medium-boost");
+  cfg.sgprs.abort_hopeless = flags.get_bool("abort-hopeless");
+  cfg.sgprs.max_in_flight_per_task = flags.get_int("in-flight");
+  cfg.network_builder = network_by_name(flags.get("network"));
+  if (!cfg.network_builder) {
+    std::cerr << "unknown --network: " << flags.get("network") << "\n";
+    return 1;
+  }
+
+  int sweep_from = 0;
+  int sweep_to = 0;
+  if (flags.has("sweep")) {
+    const std::string s = flags.get("sweep");
+    const auto colon = s.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--sweep wants from:to, got " << s << "\n";
+      return 1;
+    }
+    sweep_from = std::atoi(s.substr(0, colon).c_str());
+    sweep_to = std::atoi(s.substr(colon + 1).c_str());
+    if (sweep_from < 1 || sweep_to < sweep_from) {
+      std::cerr << "bad --sweep range\n";
+      return 1;
+    }
+  }
+
+  if (sweep_from == 0) {
+    const auto r = workload::run_scenario(cfg);
+    metrics::Table t({"metric", "value"});
+    t.add_row({"scheduler", sched});
+    t.add_row({"tasks", std::to_string(cfg.num_tasks)});
+    t.add_row({"total FPS", metrics::Table::fmt(r.fps(), 1)});
+    t.add_row({"on-time FPS",
+               metrics::Table::fmt(r.aggregate.fps_on_time, 1)});
+    t.add_row({"DMR", metrics::Table::pct(r.dmr())});
+    t.add_row({"p50 latency (ms)",
+               metrics::Table::fmt(r.aggregate.p50_latency_ms, 2)});
+    t.add_row({"p99 latency (ms)",
+               metrics::Table::fmt(r.aggregate.p99_latency_ms, 2)});
+    t.add_row({"migrations", std::to_string(r.stage_migrations)});
+    t.add_row({"medium promotions", std::to_string(r.medium_promotions)});
+    t.print(std::cout);
+    return 0;
+  }
+
+  // Sweep mode.
+  const auto results = workload::sweep_num_tasks(cfg, sweep_from, sweep_to);
+  const int pivot = workload::find_pivot(results, sweep_from);
+  if (flags.has("csv")) {
+    std::ofstream out(flags.get("csv"));
+    if (!out) {
+      std::cerr << "cannot write " << flags.get("csv") << "\n";
+      return 1;
+    }
+    common::CsvWriter csv(out);
+    csv.header({"tasks", "fps", "fps_on_time", "dmr", "p50_ms", "p99_ms"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& a = results[i].aggregate;
+      csv.row({std::to_string(sweep_from + static_cast<int>(i)),
+               common::CsvWriter::num(a.fps, 2),
+               common::CsvWriter::num(a.fps_on_time, 2),
+               common::CsvWriter::num(a.dmr, 4),
+               common::CsvWriter::num(a.p50_latency_ms, 3),
+               common::CsvWriter::num(a.p99_latency_ms, 3)});
+    }
+    std::cout << "wrote " << results.size() << " rows to "
+              << flags.get("csv") << " (pivot at " << pivot << " tasks)\n";
+    return 0;
+  }
+  metrics::Table t({"tasks", "total FPS", "DMR"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    t.add_row({std::to_string(sweep_from + static_cast<int>(i)),
+               metrics::Table::fmt(results[i].fps(), 0),
+               metrics::Table::pct(results[i].dmr())});
+  }
+  t.print(std::cout);
+  std::cout << "pivot: " << pivot << " tasks\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::FlagParser flags;
+  flags.define("scheduler", "sgprs | naive", "sgprs");
+  flags.define("contexts", "context pool size (paper: 2 or 3)", "2");
+  flags.define("oversub", "over-subscription level (SGPRS only)", "1.5");
+  flags.define("tasks", "number of identical periodic tasks", "16");
+  flags.define("fps", "task rate", "30");
+  flags.define("stages", "stages per task", "6");
+  flags.define("network",
+               "resnet18|resnet34|resnet50|alexnet|vgg11|mobilenet|lenet5|"
+               "mlp3",
+               "resnet18");
+  flags.define("duration", "simulated seconds", "2.0");
+  flags.define("warmup", "warm-up seconds excluded from metrics", "0.4");
+  flags.define("seed", "phase-jitter seed", "42");
+  flags.define("in-flight", "max in-flight jobs per task", "1");
+  flags.define("sweep", "sweep task counts, e.g. 1:30", "");
+  flags.define("csv", "write sweep results to a CSV file", "");
+  flags.define("medium-boost",
+               "medium-priority promotion of late chains (paper: on)",
+               "true");
+  flags.define_bool("abort-hopeless", "abort jobs past their deadline");
+  flags.define_bool("help", "show this help");
+
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.error() << "\n" << flags.help(argv[0]);
+    return 1;
+  }
+  if (flags.get_bool("help")) {
+    std::cout << flags.help(argv[0]);
+    return 0;
+  }
+  try {
+    return run(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
