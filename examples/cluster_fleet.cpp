@@ -1,0 +1,73 @@
+// Fleet walkthrough: a heterogeneous 4-GPU cluster (two 2080 Ti, two
+// 3090-class) serving one oversubscribed ResNet18 camera population.
+//
+// Shows the full cluster lifecycle the library exposes: placement policy
+// comparison on the same offered load, per-device breakdown, admission
+// rejections when the fleet saturates, and the rolled-up fleet report.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workload/scenario.hpp"
+
+int main() {
+  using namespace sgprs;
+
+  workload::ScenarioConfig base;
+  base.scheduler = rt::SchedulerKind::kSgprs;
+  base.oversubscription = 1.5;
+  base.fleet = {gpu::rtx2080ti(), gpu::rtx2080ti(), gpu::rtx3090(),
+                gpu::rtx3090()};
+  base.num_tasks = 88;  // past what four devices admit at margin 0.95
+  base.duration = common::SimTime::from_sec(2.0);
+  base.warmup = common::SimTime::from_ms(400);
+
+  std::cout << "Fleet: 2x RTX 2080 Ti + 2x RTX 3090, " << base.num_tasks
+            << " ResNet18 tasks offered at 30 fps each\n\n";
+
+  using cluster::PlacementPolicy;
+  metrics::Table cmp({"placement", "placed", "rejected", "total FPS", "DMR",
+                      "mean util"});
+  for (auto policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+        PlacementPolicy::kBinPackUtilization,
+        PlacementPolicy::kHashAffinity}) {
+    auto cfg = base;
+    cfg.placement = policy;
+    const auto r = workload::run_cluster_scenario(cfg);
+    cmp.add_row({cluster::to_string(policy),
+                 std::to_string(r.fleet.tasks_assigned),
+                 std::to_string(r.fleet.tasks_rejected),
+                 metrics::Table::fmt(r.fps(), 0),
+                 metrics::Table::pct(r.dmr()),
+                 metrics::Table::pct(r.fleet.mean_utilization)});
+  }
+  std::cout << "Placement policy comparison (same offered load):\n";
+  cmp.print(std::cout);
+
+  // Detailed look at worst-fit bin packing: big devices soak up tasks
+  // first, so per-device DMR stays balanced across a heterogeneous fleet.
+  auto cfg = base;
+  cfg.placement = PlacementPolicy::kBinPackUtilization;
+  const auto r = workload::run_cluster_scenario(cfg);
+  std::cout << "\nPer-device breakdown under binpack:\n";
+  metrics::Table dev({"device", "spec", "SMs", "tasks", "FPS", "DMR",
+                      "util"});
+  for (const auto& d : r.fleet.devices) {
+    dev.add_row({std::to_string(d.device_index), d.device_name,
+                 std::to_string(d.total_sms),
+                 std::to_string(d.tasks_assigned),
+                 metrics::Table::fmt(d.snapshot.fps, 1),
+                 metrics::Table::pct(d.snapshot.dmr),
+                 metrics::Table::pct(d.utilization)});
+  }
+  dev.print(std::cout);
+
+  std::cout << "\nFleet rollup: " << metrics::Table::fmt(r.fps(), 0)
+            << " FPS, DMR " << metrics::Table::pct(r.dmr()) << ", "
+            << r.fleet.tasks_rejected
+            << " tasks rejected by admission control (no device could "
+               "bound their response time).\n"
+            << "The 3090s carry more tasks than the 2080 Tis — worst-fit "
+               "packing by spare capacity, not task count.\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "rt/analysis.hpp"
+
+namespace sgprs::cluster {
+
+Cluster::Cluster(sim::Engine& engine, metrics::Collector& collector,
+                 const ClusterConfig& cfg)
+    : engine_(engine), collector_(collector), cfg_(cfg) {
+  SGPRS_CHECK_MSG(!cfg_.devices.empty(), "cluster needs at least one device");
+
+  const int streams_per_context =
+      cfg_.pool.high_streams_per_context + cfg_.pool.low_streams_per_context;
+  std::vector<PlacerDevice> placer_devices;
+  devices_.reserve(cfg_.devices.size());
+  for (const auto& spec : cfg_.devices) {
+    Device dev;
+    dev.spec = spec;
+    dev.exec = std::make_unique<gpu::Executor>(
+        engine_, spec, gpu::SpeedupModel::rtx2080ti(), cfg_.sharing);
+    dev.pool = std::make_unique<gpu::ContextPool>(*dev.exec, cfg_.pool);
+    switch (cfg_.scheduler) {
+      case rt::SchedulerKind::kSgprs:
+        dev.scheduler = std::make_unique<rt::SgprsScheduler>(
+            *dev.exec, *dev.pool, collector_, cfg_.sgprs);
+        break;
+      case rt::SchedulerKind::kNaive:
+        dev.scheduler = std::make_unique<rt::NaiveScheduler>(
+            *dev.exec, *dev.pool, collector_, cfg_.naive);
+        break;
+    }
+
+    PlacerDevice pd;
+    pd.spec = spec;
+    // Reference size for WCET lookups; profiles cover every pool size, so
+    // any context works — use the first, matching the single-GPU path.
+    pd.pool_sms = dev.pool->at(0).sm_limit;
+    // Capacity from the actual (possibly heterogeneous) context layout.
+    std::vector<int> ctx_sms;
+    ctx_sms.reserve(dev.pool->contexts().size());
+    for (const auto& pc : dev.pool->contexts()) {
+      ctx_sms.push_back(pc.sm_limit);
+    }
+    pd.capacity =
+        rt::pool_capacity(gpu::SpeedupModel::rtx2080ti(), cfg_.sharing,
+                          spec.total_sms, ctx_sms, streams_per_context);
+    placer_devices.push_back(std::move(pd));
+
+    devices_.push_back(std::move(dev));
+  }
+  placer_ = std::make_unique<Placer>(std::move(placer_devices),
+                                     cfg_.placement, cfg_.admission_margin);
+}
+
+std::vector<int> Cluster::pool_sm_sizes() const {
+  std::vector<int> sizes;
+  for (const auto& dev : devices_) {
+    for (const auto& pc : dev.pool->contexts()) {
+      if (std::find(sizes.begin(), sizes.end(), pc.sm_limit) ==
+          sizes.end()) {
+        sizes.push_back(pc.sm_limit);
+      }
+    }
+  }
+  return sizes;
+}
+
+void Cluster::place(std::vector<rt::Task> tasks) {
+  SGPRS_CHECK_MSG(!started_, "place() after start()");
+  for (auto& task : tasks) {
+    const auto dev = placer_->place(task);
+    if (dev) {
+      devices_[*dev].tasks.push_back(std::move(task));
+    } else {
+      rejected_.push_back(std::move(task));
+    }
+  }
+}
+
+void Cluster::start(const rt::RunnerConfig& rcfg) {
+  SGPRS_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  for (auto& dev : devices_) {
+    if (dev.tasks.empty()) continue;
+    dev.runner = std::make_unique<rt::Runner>(engine_, *dev.scheduler,
+                                              dev.tasks, rcfg);
+    dev.runner->start();
+  }
+}
+
+metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
+  const Device& dev = devices_.at(i);
+  metrics::DeviceReport report;
+  report.device_index = i;
+  report.device_name = dev.spec.name;
+  report.total_sms = dev.spec.total_sms;
+  report.tasks_assigned = static_cast<int>(dev.tasks.size());
+  std::vector<int> ids;
+  ids.reserve(dev.tasks.size());
+  for (const auto& t : dev.tasks) ids.push_back(t.id);
+  report.snapshot = collector_.aggregate_tasks(ids, end);
+  report.busy_sm_seconds = dev.exec->busy_sm_seconds();
+  // busy_sm_seconds integrates *granted* SMs, and an over-subscribed pool
+  // grants up to its allocation (> the physical device). Normalise by the
+  // larger of the two so utilization stays a 0..1-ish occupancy figure.
+  const int basis = std::max(dev.spec.total_sms,
+                             dev.pool->total_allocated_sms());
+  const double denom = static_cast<double>(basis) * end.to_sec();
+  report.utilization = denom > 0.0 ? report.busy_sm_seconds / denom : 0.0;
+  return report;
+}
+
+metrics::FleetReport Cluster::fleet_report(SimTime end) const {
+  std::vector<metrics::DeviceReport> reports;
+  reports.reserve(devices_.size());
+  for (int i = 0; i < num_devices(); ++i) {
+    reports.push_back(device_report(i, end));
+  }
+  return metrics::roll_up(std::move(reports),
+                          static_cast<int>(rejected_.size()));
+}
+
+std::int64_t Cluster::releases_issued() const {
+  std::int64_t total = 0;
+  for (const auto& dev : devices_) {
+    if (dev.runner) total += dev.runner->releases_issued();
+  }
+  return total;
+}
+
+std::int64_t Cluster::stage_migrations() const {
+  std::int64_t total = 0;
+  for (const auto& dev : devices_) {
+    if (auto* s = dynamic_cast<rt::SgprsScheduler*>(dev.scheduler.get())) {
+      total += s->stage_migrations();
+    }
+  }
+  return total;
+}
+
+std::int64_t Cluster::medium_promotions() const {
+  std::int64_t total = 0;
+  for (const auto& dev : devices_) {
+    if (auto* s = dynamic_cast<rt::SgprsScheduler*>(dev.scheduler.get())) {
+      total += s->medium_promotions();
+    }
+  }
+  return total;
+}
+
+}  // namespace sgprs::cluster

@@ -1,0 +1,102 @@
+// Multi-GPU cluster: N simulated devices sharing one discrete-event
+// engine, each with its own Executor, ContextPool and per-device scheduler
+// (SGPRS or naive), fronted by a Placer that assigns admitted tasks to
+// devices. One Collector is shared across the fleet (task ids are globally
+// unique), so per-device metrics are subset aggregations and the fleet
+// aggregate is exact.
+//
+// Lifecycle: construct → place(tasks) → start(cfg) → engine.run_until(T)
+// → fleet_report(T).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/placer.hpp"
+#include "gpu/context_pool.hpp"
+#include "gpu/device.hpp"
+#include "gpu/executor.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/fleet.hpp"
+#include "rt/runner.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/scheduler_kind.hpp"
+#include "rt/sgprs_scheduler.hpp"
+#include "rt/naive_scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::cluster {
+
+using common::SimTime;
+
+struct ClusterConfig {
+  /// One entry per device; heterogeneous fleets just list different specs.
+  std::vector<gpu::DeviceSpec> devices;
+  PlacementPolicy placement = PlacementPolicy::kLeastLoaded;
+  /// Admission budget as a fraction of saturated capacity; <= 0 disables
+  /// admission control (every task is placed).
+  double admission_margin = 0.95;
+  rt::SchedulerKind scheduler = rt::SchedulerKind::kSgprs;
+  /// Context pool shape, replicated on every device.
+  gpu::ContextPoolConfig pool;
+  rt::SgprsConfig sgprs;
+  rt::NaiveConfig naive;
+  gpu::SharingParams sharing;
+};
+
+class Cluster {
+ public:
+  struct Device {
+    gpu::DeviceSpec spec;
+    std::unique_ptr<gpu::Executor> exec;
+    std::unique_ptr<gpu::ContextPool> pool;
+    std::unique_ptr<rt::Scheduler> scheduler;
+    /// Tasks the placer assigned here (stable storage for the runner).
+    std::vector<rt::Task> tasks;
+    std::unique_ptr<rt::Runner> runner;
+  };
+
+  /// Creates every device's executor, pool and scheduler up front (the
+  /// SGPRS zero-runtime-reconfiguration property, fleet-wide).
+  Cluster(sim::Engine& engine, metrics::Collector& collector,
+          const ClusterConfig& cfg);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const Device& device(int i) const { return devices_.at(i); }
+  Placer& placer() { return *placer_; }
+  const Placer& placer() const { return *placer_; }
+
+  /// Distinct context SM sizes across the fleet, first-seen order. Profile
+  /// task WCETs at exactly these sizes before placing.
+  std::vector<int> pool_sm_sizes() const;
+
+  /// Places each task in order; rejected tasks are retained for reporting.
+  void place(std::vector<rt::Task> tasks);
+  const std::vector<rt::Task>& rejected_tasks() const { return rejected_; }
+
+  /// Arms periodic releases on every device (admits tasks into the
+  /// per-device schedulers). Call once after place(); then run the engine.
+  void start(const rt::RunnerConfig& rcfg);
+
+  /// Per-device metrics over [collector.warmup(), end]; utilization over
+  /// the whole run [0, end].
+  metrics::DeviceReport device_report(int i, SimTime end) const;
+  metrics::FleetReport fleet_report(SimTime end) const;
+
+  std::int64_t releases_issued() const;
+  /// Summed over SGPRS devices (0 for the naive fleet).
+  std::int64_t stage_migrations() const;
+  std::int64_t medium_promotions() const;
+
+ private:
+  sim::Engine& engine_;
+  metrics::Collector& collector_;
+  ClusterConfig cfg_;
+  std::vector<Device> devices_;
+  std::unique_ptr<Placer> placer_;
+  std::vector<rt::Task> rejected_;
+  bool started_ = false;
+};
+
+}  // namespace sgprs::cluster

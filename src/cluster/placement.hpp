@@ -1,0 +1,47 @@
+// Fleet-level placement policies: which device an admitted task lands on.
+//
+// The per-device scheduler (SGPRS or naive) is only half of a deployment;
+// at fleet scale a placer must decide where each periodic task lives before
+// any job is released. Policies are deliberately simple and online — every
+// decision uses only the tasks placed so far.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace sgprs::cluster {
+
+enum class PlacementPolicy {
+  /// Rotate across devices independent of load.
+  kRoundRobin,
+  /// Device with the lowest offered-utilization *fraction* of its own
+  /// capacity (relative load balance; heterogeneous devices fill evenly).
+  kLeastLoaded,
+  /// Worst-fit bin packing by DNN stage utilization: the device with the
+  /// most *absolute* spare work-rate capacity wins (big devices fill
+  /// first, keeping the largest contiguous headroom for future tasks).
+  kBinPackUtilization,
+  /// Stable hash of the task name picks a home device (session affinity);
+  /// linear probing past saturated devices keeps admission maximal.
+  kHashAffinity,
+};
+
+const char* to_string(PlacementPolicy p);
+
+/// All accepted names, pipe-separated (for --help text).
+const char* placement_policy_names();
+
+/// Parses a policy name; std::nullopt on anything unrecognised.
+std::optional<PlacementPolicy> parse_placement_policy(
+    const std::string& name);
+
+/// Parses a CLI fleet description: either a device count ("4" = four
+/// 2080 Ti) or a comma-separated list of device names ("2080ti,3090").
+/// std::nullopt on unknown names or a non-positive count.
+std::optional<std::vector<gpu::DeviceSpec>> parse_fleet(
+    const std::string& spec);
+
+}  // namespace sgprs::cluster

@@ -1,0 +1,113 @@
+#include "cluster/placer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace sgprs::cluster {
+
+namespace {
+
+/// FNV-1a over the task name: stable across platforms and standard-library
+/// implementations, unlike std::hash (affinity must not move between
+/// builds).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Placer::Placer(std::vector<PlacerDevice> devices, PlacementPolicy policy,
+               double admission_margin)
+    : policy_(policy), margin_(admission_margin) {
+  SGPRS_CHECK_MSG(!devices.empty(), "placer needs at least one device");
+  SGPRS_CHECK_MSG(admission_margin <= 1.0,
+                  "admission margin is a fraction of capacity");
+  devices_.reserve(devices.size());
+  for (auto& d : devices) {
+    SGPRS_CHECK(d.capacity.work_rate > 0.0);
+    // A disabled margin still needs a valid controller for load tracking.
+    rt::AdmissionController controller(d.capacity, d.pool_sms,
+                                       margin_ > 0.0 ? margin_ : 1.0);
+    devices_.push_back(DeviceState{std::move(d), std::move(controller)});
+  }
+}
+
+double Placer::utilization(int d) const {
+  return devices_.at(d).controller.current_utilization();
+}
+
+double Placer::remaining_capacity(int d) const {
+  const DeviceState& ds = devices_.at(d);
+  const double budget =
+      (margin_ > 0.0 ? margin_ : 1.0) * ds.info.capacity.work_rate;
+  const double offered =
+      ds.controller.current_utilization() * ds.info.capacity.work_rate;
+  return budget - offered;
+}
+
+int Placer::task_count(int d) const {
+  return static_cast<int>(devices_.at(d).controller.admitted().size());
+}
+
+const std::vector<rt::Task>& Placer::placed_on(int d) const {
+  return devices_.at(d).controller.admitted();
+}
+
+std::vector<int> Placer::candidate_order(const rt::Task& task) const {
+  const int n = num_devices();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      for (int i = 0; i < n; ++i) order[i] = (rr_next_ + i) % n;
+      break;
+    case PlacementPolicy::kHashAffinity: {
+      const int home = static_cast<int>(fnv1a(task.name) % n);
+      for (int i = 0; i < n; ++i) order[i] = (home + i) % n;
+      break;
+    }
+    case PlacementPolicy::kLeastLoaded: {
+      std::vector<double> load(n);
+      for (int i = 0; i < n; ++i) load[i] = utilization(i);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int a, int b) { return load[a] < load[b]; });
+      break;
+    }
+    case PlacementPolicy::kBinPackUtilization: {
+      std::vector<double> spare(n);
+      for (int i = 0; i < n; ++i) spare[i] = remaining_capacity(i);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int a, int b) { return spare[a] > spare[b]; });
+      break;
+    }
+  }
+  return order;
+}
+
+std::optional<int> Placer::place(const rt::Task& task) {
+  for (int d : candidate_order(task)) {
+    auto& controller = devices_[d].controller;
+    if (margin_ <= 0.0) {
+      controller.force_admit(task);  // admission control disabled
+    } else if (!controller.try_admit(task)) {
+      continue;
+    }
+    if (policy_ == PlacementPolicy::kRoundRobin) {
+      rr_next_ = (d + 1) % num_devices();
+    }
+    return d;
+  }
+  ++rejected_;
+  return std::nullopt;
+}
+
+}  // namespace sgprs::cluster

@@ -1,0 +1,72 @@
+// Task → device assignment with online admission control.
+//
+// The placer keeps an analytical load model per device (rt/analysis.hpp:
+// saturated pool capacity, utilization test, heuristic response-time
+// estimate). Each placement walks the devices in a policy-defined order and
+// lands on the first one whose augmented task set still passes admission;
+// when no device passes, the task is rejected — the cluster never takes
+// work it cannot bound.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "gpu/device.hpp"
+#include "rt/analysis.hpp"
+#include "rt/task.hpp"
+
+namespace sgprs::cluster {
+
+/// Static per-device facts the placer reasons about.
+struct PlacerDevice {
+  gpu::DeviceSpec spec;
+  rt::PoolCapacityModel capacity;
+  /// Reference context SM size used for WCET lookups in the response-time
+  /// estimate; tasks must be profiled at this size.
+  int pool_sms = 0;
+};
+
+class Placer {
+ public:
+  /// `admission_margin` is the utilization fraction admission may fill
+  /// (rt::AdmissionController semantics); <= 0 disables admission control
+  /// entirely — every placement succeeds, load ordering still applies.
+  Placer(std::vector<PlacerDevice> devices, PlacementPolicy policy,
+         double admission_margin = 0.95);
+
+  /// Places one task. Returns the chosen device index, or std::nullopt
+  /// when no device admits it (counted in rejected()).
+  std::optional<int> place(const rt::Task& task);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  PlacementPolicy policy() const { return policy_; }
+  int rejected() const { return rejected_; }
+
+  /// Offered utilization fraction of device `d` (offered work rate over
+  /// saturated capacity; 0 when nothing is placed).
+  double utilization(int d) const;
+  /// Absolute spare admissible work rate of device `d` (SM-work/s).
+  double remaining_capacity(int d) const;
+  int task_count(int d) const;
+  const std::vector<rt::Task>& placed_on(int d) const;
+
+ private:
+  /// Admission testing and the per-device placed list both live in the
+  /// rt::AdmissionController (push/pop probing, no task-set copies).
+  struct DeviceState {
+    PlacerDevice info;
+    rt::AdmissionController controller;
+  };
+
+  /// Device indices in the order this policy wants them tried.
+  std::vector<int> candidate_order(const rt::Task& task) const;
+
+  std::vector<DeviceState> devices_;
+  PlacementPolicy policy_;
+  double margin_;
+  int rr_next_ = 0;
+  int rejected_ = 0;
+};
+
+}  // namespace sgprs::cluster

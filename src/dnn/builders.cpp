@@ -317,4 +317,20 @@ Network mlp3(int in_features, int hidden, int num_classes) {
   return std::move(b).build();
 }
 
+std::function<Network()> network_builder_by_name(const std::string& name) {
+  if (name == "resnet18") return [] { return resnet18(); };
+  if (name == "resnet34") return [] { return resnet34(); };
+  if (name == "resnet50") return [] { return resnet50(); };
+  if (name == "alexnet") return [] { return alexnet(); };
+  if (name == "vgg11") return [] { return vgg11(); };
+  if (name == "mobilenet") return [] { return mobilenet_like(); };
+  if (name == "lenet5") return [] { return lenet5(); };
+  if (name == "mlp3") return [] { return mlp3(); };
+  return nullptr;
+}
+
+const char* network_names() {
+  return "resnet18|resnet34|resnet50|alexnet|vgg11|mobilenet|lenet5|mlp3";
+}
+
 }  // namespace sgprs::dnn

@@ -4,6 +4,9 @@
 // multi-tenant examples and tests with realistically varied layer mixes.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "dnn/network.hpp"
 
 namespace sgprs::dnn {
@@ -62,5 +65,13 @@ Network lenet5(int num_classes = 10);
 
 /// Plain MLP: 3 linear+relu blocks (pathological: nothing scales well).
 Network mlp3(int in_features = 4096, int hidden = 2048, int num_classes = 100);
+
+/// Name → builder for every benchmark network above (default shapes).
+/// Shared by the CLI, benches and examples; returns an empty function on
+/// unknown names so callers can report the error.
+std::function<Network()> network_builder_by_name(const std::string& name);
+
+/// All accepted names, pipe-separated (for --help text).
+const char* network_names();
 
 }  // namespace sgprs::dnn

@@ -1,6 +1,7 @@
 // Static description of the simulated GPU device.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace sgprs::gpu {
@@ -16,5 +17,24 @@ struct DeviceSpec {
 };
 
 inline DeviceSpec rtx2080ti() { return DeviceSpec{}; }
+
+/// A 3090-class device (82 SMs): the second SM count used for
+/// heterogeneous fleets in the cluster layer.
+inline DeviceSpec rtx3090() {
+  DeviceSpec d;
+  d.name = "RTX 3090 (simulated)";
+  d.total_sms = 82;
+  return d;
+}
+
+/// Device lookup by short name (CLI `--devices=` lists); nullopt on
+/// anything unrecognised.
+inline std::optional<DeviceSpec> device_by_name(const std::string& name) {
+  if (name == "2080ti" || name == "rtx2080ti") return rtx2080ti();
+  if (name == "3090" || name == "rtx3090") return rtx3090();
+  return std::nullopt;
+}
+
+inline const char* device_names() { return "2080ti|3090"; }
 
 }  // namespace sgprs::gpu

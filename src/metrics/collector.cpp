@@ -47,16 +47,35 @@ Snapshot Collector::snapshot_of(const PerTask& pt, SimTime end) const {
   return s;
 }
 
+namespace {
+
+template <typename PerTaskT>
+void merge_into(PerTaskT& all, const PerTaskT& pt) {
+  all.counts.released += pt.counts.released;
+  all.counts.dropped += pt.counts.dropped;
+  all.counts.on_time += pt.counts.on_time;
+  all.counts.late += pt.counts.late;
+  all.latency_ms.merge(pt.latency_ms);
+  for (double x : pt.latency_pct_ms.samples()) all.latency_pct_ms.add(x);
+}
+
+}  // namespace
+
 Snapshot Collector::aggregate(SimTime end) const {
   PerTask all;
   for (const auto& [id, pt] : tasks_) {
     (void)id;
-    all.counts.released += pt.counts.released;
-    all.counts.dropped += pt.counts.dropped;
-    all.counts.on_time += pt.counts.on_time;
-    all.counts.late += pt.counts.late;
-    all.latency_ms.merge(pt.latency_ms);
-    for (double x : pt.latency_pct_ms.samples()) all.latency_pct_ms.add(x);
+    merge_into(all, pt);
+  }
+  return snapshot_of(all, end);
+}
+
+Snapshot Collector::aggregate_tasks(const std::vector<int>& ids,
+                                    SimTime end) const {
+  PerTask all;
+  for (int id : ids) {
+    auto it = tasks_.find(id);
+    if (it != tasks_.end()) merge_into(all, it->second);
   }
   return snapshot_of(all, end);
 }

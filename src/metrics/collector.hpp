@@ -56,6 +56,9 @@ class Collector {
 
   /// Aggregate metrics over [warmup, end].
   Snapshot aggregate(SimTime end) const;
+  /// Aggregate over a subset of tasks (e.g. one device's share of a fleet).
+  /// Ids with no recorded events contribute nothing.
+  Snapshot aggregate_tasks(const std::vector<int>& ids, SimTime end) const;
   /// Metrics for one task over [warmup, end].
   Snapshot per_task(int task, SimTime end) const;
   /// Ids of tasks that produced at least one event.

@@ -1,0 +1,60 @@
+#include "metrics/fleet.hpp"
+
+#include <algorithm>
+
+namespace sgprs::metrics {
+
+Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device) {
+  Snapshot fleet;
+  double weighted_mean = 0.0;
+  double weighted_p50 = 0.0;
+  double weighted_p99 = 0.0;
+  std::int64_t completed = 0;
+  for (const auto& s : per_device) {
+    fleet.counts.released += s.counts.released;
+    fleet.counts.dropped += s.counts.dropped;
+    fleet.counts.on_time += s.counts.on_time;
+    fleet.counts.late += s.counts.late;
+    fleet.fps += s.fps;
+    fleet.fps_on_time += s.fps_on_time;
+    const double w = static_cast<double>(s.counts.completed());
+    weighted_mean += w * s.mean_latency_ms;
+    weighted_p50 += w * s.p50_latency_ms;
+    weighted_p99 += w * s.p99_latency_ms;
+    completed += s.counts.completed();
+    fleet.max_latency_ms = std::max(fleet.max_latency_ms, s.max_latency_ms);
+  }
+  const auto closed = fleet.counts.closed();
+  fleet.dmr = closed == 0
+                  ? 0.0
+                  : static_cast<double>(fleet.counts.late +
+                                        fleet.counts.dropped) /
+                        static_cast<double>(closed);
+  if (completed > 0) {
+    fleet.mean_latency_ms = weighted_mean / static_cast<double>(completed);
+    fleet.p50_latency_ms = weighted_p50 / static_cast<double>(completed);
+    fleet.p99_latency_ms = weighted_p99 / static_cast<double>(completed);
+  }
+  return fleet;
+}
+
+FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected) {
+  FleetReport report;
+  std::vector<Snapshot> snaps;
+  snaps.reserve(devices.size());
+  double weighted_util = 0.0;
+  double total_sms = 0.0;
+  for (const auto& d : devices) {
+    snaps.push_back(d.snapshot);
+    weighted_util += static_cast<double>(d.total_sms) * d.utilization;
+    total_sms += static_cast<double>(d.total_sms);
+    report.tasks_assigned += d.tasks_assigned;
+  }
+  report.fleet = roll_up_snapshots(snaps);
+  report.mean_utilization = total_sms > 0.0 ? weighted_util / total_sms : 0.0;
+  report.tasks_rejected = tasks_rejected;
+  report.devices = std::move(devices);
+  return report;
+}
+
+}  // namespace sgprs::metrics

@@ -1,0 +1,47 @@
+// Fleet-level metrics: per-device snapshots rolled up into one report.
+//
+// Rollup semantics: counts and rates (FPS) sum across devices; DMR is
+// recomputed from the summed counts; mean latency is completed-weighted;
+// p50/p99 are completed-weighted means of the per-device percentiles (an
+// approximation — exact fleet percentiles come from a shared Collector);
+// max latency is the max. Utilization is SM-weighted so a big idle device
+// drags the fleet number down proportionally to its size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace sgprs::metrics {
+
+struct DeviceReport {
+  int device_index = 0;
+  std::string device_name;
+  int total_sms = 0;
+  int tasks_assigned = 0;
+  Snapshot snapshot;
+  /// Integral of granted SMs over the whole run (gpu::Executor accounting).
+  double busy_sm_seconds = 0.0;
+  /// busy_sm_seconds / (allocation basis * elapsed run time), where the
+  /// basis is the device's SM count or, for an over-subscribed pool, its
+  /// (larger) summed context allocation — an occupancy in [0, ~1].
+  double utilization = 0.0;
+};
+
+struct FleetReport {
+  std::vector<DeviceReport> devices;
+  Snapshot fleet;
+  /// SM-weighted mean of per-device utilization.
+  double mean_utilization = 0.0;
+  int tasks_assigned = 0;
+  int tasks_rejected = 0;
+};
+
+/// Combines per-device snapshots under the semantics above.
+Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device);
+
+/// Full fleet rollup from per-device reports.
+FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected);
+
+}  // namespace sgprs::metrics

@@ -14,12 +14,24 @@ PoolCapacityModel pool_capacity(const gpu::SpeedupModel& speedup,
                                 gpu::OpClass rep_op) {
   SGPRS_CHECK(num_contexts >= 1);
   SGPRS_CHECK(sm_per_context >= 1);
+  return pool_capacity(speedup, sharing, device_total_sms,
+                       std::vector<int>(num_contexts, sm_per_context),
+                       streams_per_context, rep_op);
+}
+
+PoolCapacityModel pool_capacity(const gpu::SpeedupModel& speedup,
+                                const gpu::SharingParams& sharing,
+                                int device_total_sms,
+                                const std::vector<int>& ctx_sms,
+                                int streams_per_context,
+                                gpu::OpClass rep_op) {
+  SGPRS_CHECK(!ctx_sms.empty());
+  for (int sms : ctx_sms) SGPRS_CHECK(sms >= 1);
   SGPRS_CHECK(streams_per_context >= 1);
 
   // Fully saturated pool: every stream of every context runs one kernel.
-  std::vector<int> ctx_sms(num_contexts, sm_per_context);
   std::vector<gpu::ShareRequest> reqs;
-  for (int c = 0; c < num_contexts; ++c) {
+  for (int c = 0; c < static_cast<int>(ctx_sms.size()); ++c) {
     for (int s = 0; s < streams_per_context; ++s) {
       reqs.push_back({c, 1.0, rep_op});
     }

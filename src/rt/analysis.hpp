@@ -41,6 +41,15 @@ PoolCapacityModel pool_capacity(const gpu::SpeedupModel& speedup,
                                 int sm_per_context, int streams_per_context,
                                 gpu::OpClass rep_op = gpu::OpClass::kConv);
 
+/// Heterogeneous-pool variant: one entry of `ctx_sms` per context, so
+/// explicit per-context SM limits are modelled exactly.
+PoolCapacityModel pool_capacity(const gpu::SpeedupModel& speedup,
+                                const gpu::SharingParams& sharing,
+                                int device_total_sms,
+                                const std::vector<int>& ctx_sms,
+                                int streams_per_context,
+                                gpu::OpClass rep_op = gpu::OpClass::kConv);
+
 struct UtilizationReport {
   /// Offered load: 1-SM work seconds demanded per second by the task set.
   double offered_work_rate = 0.0;
@@ -81,6 +90,10 @@ class AdmissionController {
   /// Tries to admit `task`; returns true and retains it if the augmented
   /// set still passes both tests.
   bool try_admit(const Task& task);
+
+  /// Records `task` without testing (admission control disabled, or the
+  /// decision was made elsewhere); load accounting stays accurate.
+  void force_admit(const Task& task) { admitted_.push_back(task); }
 
   const std::vector<Task>& admitted() const { return admitted_; }
   double current_utilization() const;

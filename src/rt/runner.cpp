@@ -38,8 +38,12 @@ void Runner::arm_release(const Task& task, SimTime at) {
   });
 }
 
-void Runner::run() {
+void Runner::start() {
   for (const auto& t : tasks_) arm_release(t, t.phase);
+}
+
+void Runner::run() {
+  start();
   engine_.run_until(cfg_.duration);
 }
 

@@ -26,8 +26,13 @@ class Runner {
   Runner(sim::Engine& engine, Scheduler& scheduler,
          const std::vector<Task>& tasks, RunnerConfig cfg);
 
-  /// Releases jobs at phase + k*period for every task, runs the engine
-  /// until the configured duration, and leaves the clock exactly there.
+  /// Arms the first release of every task without running the engine.
+  /// For multi-runner setups (one runner per cluster device sharing one
+  /// engine): start() every runner, then run the engine once.
+  void start();
+
+  /// start() + runs the engine until the configured duration, leaving the
+  /// clock exactly there.
   void run();
 
   std::int64_t releases_issued() const { return releases_; }

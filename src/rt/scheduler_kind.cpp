@@ -1,0 +1,21 @@
+#include "rt/scheduler_kind.hpp"
+
+namespace sgprs::rt {
+
+const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kSgprs: return "sgprs";
+    case SchedulerKind::kNaive: return "naive";
+  }
+  return "?";
+}
+
+const char* scheduler_kind_names() { return "sgprs|naive"; }
+
+std::optional<SchedulerKind> parse_scheduler_kind(const std::string& name) {
+  if (name == "sgprs") return SchedulerKind::kSgprs;
+  if (name == "naive") return SchedulerKind::kNaive;
+  return std::nullopt;
+}
+
+}  // namespace sgprs::rt

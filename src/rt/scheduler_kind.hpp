@@ -1,0 +1,21 @@
+// Scheduler selection shared by the workload harness, the cluster layer,
+// the CLI and the benches. String parsing lives here — one place — so an
+// unknown name is an error everywhere instead of a silent default.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sgprs::rt {
+
+enum class SchedulerKind { kSgprs, kNaive };
+
+const char* to_string(SchedulerKind k);
+
+/// All accepted names, pipe-separated (for --help text).
+const char* scheduler_kind_names();
+
+/// Parses a scheduler name; std::nullopt on anything unrecognised.
+std::optional<SchedulerKind> parse_scheduler_kind(const std::string& name);
+
+}  // namespace sgprs::rt

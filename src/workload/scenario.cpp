@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "cluster/cluster.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "dnn/profiler.hpp"
@@ -11,16 +12,11 @@
 
 namespace sgprs::workload {
 
-ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  SGPRS_CHECK(cfg.num_tasks >= 1);
-  SGPRS_CHECK(cfg.warmup < cfg.duration);
+namespace {
 
-  sim::Engine engine;
-  gpu::Executor exec(engine, cfg.device, gpu::SpeedupModel::rtx2080ti(),
-                     cfg.sharing);
-
-  // Build the pool. The naive baseline gets one stream per context and no
-  // over-subscription (it is pure spatial partitioning).
+/// Pool shape for one device. The naive baseline gets one stream per
+/// context and no over-subscription (it is pure spatial partitioning).
+gpu::ContextPoolConfig make_pool_config(const ScenarioConfig& cfg) {
   gpu::ContextPoolConfig pool_cfg;
   pool_cfg.num_contexts = cfg.num_contexts;
   if (cfg.scheduler == SchedulerKind::kSgprs) {
@@ -33,21 +29,19 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     pool_cfg.high_streams_per_context = 1;
     pool_cfg.low_streams_per_context = 0;
   }
-  gpu::ContextPool pool(exec, pool_cfg);
+  return pool_cfg;
+}
 
-  // Offline phase: one shared network + WCET profile, cloned per task.
+/// Offline phase: one shared network + WCET profile at every distinct SM
+/// size, cloned per task with seeded phase jitter. Identical rng
+/// consumption on the single-GPU and cluster paths keeps a 1-device
+/// cluster bit-identical to run_scenario.
+std::vector<rt::Task> build_task_set(const ScenarioConfig& cfg,
+                                     const std::vector<int>& pool_sizes) {
   const auto network = std::make_shared<const dnn::Network>(
       cfg.network_builder ? cfg.network_builder() : dnn::resnet18());
   dnn::Profiler profiler(cfg.device, gpu::SpeedupModel::rtx2080ti(),
                          dnn::CostModel::calibrated());
-  // Profile at every distinct SM size in the (possibly heterogeneous) pool.
-  std::vector<int> pool_sizes;
-  for (const auto& pc : pool.contexts()) {
-    if (std::find(pool_sizes.begin(), pool_sizes.end(), pc.sm_limit) ==
-        pool_sizes.end()) {
-      pool_sizes.push_back(pc.sm_limit);
-    }
-  }
 
   rt::TaskConfig tcfg;
   tcfg.fps = cfg.fps;
@@ -69,6 +63,29 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
     tasks.push_back(std::move(t));
   }
+  return tasks;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  SGPRS_CHECK(cfg.num_tasks >= 1);
+  SGPRS_CHECK(cfg.warmup < cfg.duration);
+
+  sim::Engine engine;
+  gpu::Executor exec(engine, cfg.device, gpu::SpeedupModel::rtx2080ti(),
+                     cfg.sharing);
+  gpu::ContextPool pool(exec, make_pool_config(cfg));
+
+  // Profile at every distinct SM size in the (possibly heterogeneous) pool.
+  std::vector<int> pool_sizes;
+  for (const auto& pc : pool.contexts()) {
+    if (std::find(pool_sizes.begin(), pool_sizes.end(), pc.sm_limit) ==
+        pool_sizes.end()) {
+      pool_sizes.push_back(pc.sm_limit);
+    }
+  }
+  std::vector<rt::Task> tasks = build_task_set(cfg, pool_sizes);
 
   metrics::Collector collector(cfg.warmup);
   std::unique_ptr<rt::Scheduler> scheduler;
@@ -97,6 +114,46 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   }
   result.sim_events = static_cast<double>(engine.processed_count());
   result.gpu_busy_sm_seconds = exec.busy_sm_seconds();
+  return result;
+}
+
+ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg) {
+  SGPRS_CHECK(cfg.num_tasks >= 1);
+  SGPRS_CHECK(cfg.warmup < cfg.duration);
+  SGPRS_CHECK(cfg.num_devices >= 1 || !cfg.fleet.empty());
+
+  sim::Engine engine;
+  metrics::Collector collector(cfg.warmup);
+
+  cluster::ClusterConfig ccfg;
+  ccfg.devices = cfg.fleet.empty() ? std::vector<gpu::DeviceSpec>(
+                                         cfg.num_devices, cfg.device)
+                                   : cfg.fleet;
+  ccfg.placement = cfg.placement;
+  ccfg.admission_margin = cfg.admission_margin;
+  ccfg.scheduler = cfg.scheduler;
+  ccfg.pool = make_pool_config(cfg);
+  ccfg.sgprs = cfg.sgprs;
+  ccfg.naive = cfg.naive;
+  ccfg.sharing = cfg.sharing;
+  cluster::Cluster fleet(engine, collector, ccfg);
+
+  fleet.place(build_task_set(cfg, fleet.pool_sm_sizes()));
+
+  rt::RunnerConfig rcfg;
+  rcfg.duration = cfg.duration;
+  fleet.start(rcfg);
+  engine.run_until(cfg.duration);
+
+  ClusterScenarioResult result;
+  result.fleet = fleet.fleet_report(cfg.duration);
+  for (const auto& t : fleet.rejected_tasks()) {
+    result.rejected_task_ids.push_back(t.id);
+  }
+  result.releases = fleet.releases_issued();
+  result.stage_migrations = fleet.stage_migrations();
+  result.medium_promotions = fleet.medium_promotions();
+  result.sim_events = static_cast<double>(engine.processed_count());
   return result;
 }
 

@@ -8,22 +8,25 @@
 #include <string>
 #include <vector>
 
+#include "cluster/placement.hpp"
 #include "dnn/builders.hpp"
 #include "gpu/context_pool.hpp"
 #include "gpu/device.hpp"
 #include "metrics/collector.hpp"
+#include "metrics/fleet.hpp"
 #include "rt/naive_scheduler.hpp"
+#include "rt/scheduler_kind.hpp"
 #include "rt/sgprs_scheduler.hpp"
 
 namespace sgprs::workload {
 
 using common::SimTime;
 
-enum class SchedulerKind { kSgprs, kNaive };
-
-inline const char* to_string(SchedulerKind k) {
-  return k == SchedulerKind::kSgprs ? "sgprs" : "naive";
-}
+/// Scheduler selection now lives in rt/scheduler_kind.hpp (one parse/print
+/// site shared by the CLI, benches and the cluster layer); the alias keeps
+/// every existing workload:: spelling working. to_string() is found via
+/// ADL on the rt enum.
+using SchedulerKind = rt::SchedulerKind;
 
 struct ScenarioConfig {
   SchedulerKind scheduler = SchedulerKind::kSgprs;
@@ -61,6 +64,17 @@ struct ScenarioConfig {
   rt::NaiveConfig naive;
   gpu::DeviceSpec device = gpu::rtx2080ti();
   gpu::SharingParams sharing;  // calibrated defaults
+
+  /// --- Fleet (cluster subsystem; used by run_cluster_scenario) ---
+  /// Number of devices, each a copy of `device`. `fleet` (when non-empty)
+  /// wins and allows heterogeneous specs.
+  int num_devices = 1;
+  std::vector<gpu::DeviceSpec> fleet;
+  cluster::PlacementPolicy placement =
+      cluster::PlacementPolicy::kLeastLoaded;
+  /// Fleet admission budget (fraction of saturated per-device capacity);
+  /// <= 0 disables admission control so every task is placed.
+  double admission_margin = 0.95;
 };
 
 struct ScenarioResult {
@@ -78,6 +92,27 @@ struct ScenarioResult {
 
 /// Builds and runs one scenario to completion.
 ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Result of a fleet run: per-device + rolled-up metrics plus the
+/// scheduler counters summed across devices.
+struct ClusterScenarioResult {
+  metrics::FleetReport fleet;
+  std::vector<int> rejected_task_ids;
+  std::int64_t releases = 0;
+  std::int64_t stage_migrations = 0;   // SGPRS only
+  std::int64_t medium_promotions = 0;  // SGPRS only
+  double sim_events = 0.0;
+
+  double fps() const { return fleet.fleet.fps; }
+  double dmr() const { return fleet.fleet.dmr; }
+};
+
+/// Builds and runs the fleet described by cfg.num_devices/cfg.fleet: one
+/// shared engine and collector, per-device executor/pool/scheduler, tasks
+/// assigned by cfg.placement with admission control. With one device and
+/// every task admitted this follows the exact event sequence of
+/// run_scenario (same seed → identical counts).
+ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg);
 
 /// Runs the scenario at every task count in [from, to] (the x-axis of
 /// Figs. 3 and 4). Results are indexed by (n - from).

@@ -1,0 +1,193 @@
+#include "cluster/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/sharing.hpp"
+#include "gpu/speedup.hpp"
+
+namespace sgprs::cluster {
+namespace {
+
+using common::SimTime;
+
+// Analytical capacities for the two device classes, 2 contexts x 4 streams
+// at half the device (the shapes the cluster layer builds by default).
+rt::PoolCapacityModel capacity_of(int total_sms, int sm_per_ctx) {
+  return rt::pool_capacity(gpu::SpeedupModel::rtx2080ti(),
+                           gpu::SharingParams{}, total_sms, 2, sm_per_ctx,
+                           4);
+}
+
+PlacerDevice small_device() {
+  PlacerDevice d;
+  d.spec = gpu::rtx2080ti();
+  d.pool_sms = 34;
+  d.capacity = capacity_of(68, 34);
+  return d;
+}
+
+PlacerDevice big_device() {
+  PlacerDevice d;
+  d.spec = gpu::rtx3090();
+  d.pool_sms = 41;
+  d.capacity = capacity_of(82, 41);
+  return d;
+}
+
+/// Synthetic periodic task whose offered work rate is `frac` of
+/// `capacity.work_rate`. Profiled at both fleet pool sizes so admission's
+/// WCET lookups succeed on either device class. A heavy task (large frac)
+/// serially occupies one slot for several periods, so saturation tests
+/// relax the deadline via `deadline_factor` to make the *utilization*
+/// budget the binding constraint.
+rt::Task make_task(int id, const std::string& name, double frac,
+                   const rt::PoolCapacityModel& capacity,
+                   double deadline_factor = 1.0) {
+  const double period_sec = 1.0 / 30.0;
+  rt::Task t;
+  t.id = id;
+  t.name = name;
+  t.period = SimTime::from_sec(period_sec);
+  t.deadline = SimTime::from_sec(period_sec * deadline_factor);
+  const auto speedup = gpu::SpeedupModel::rtx2080ti();
+  // utilization_test: offered = total_at(ref) * speedup(conv, ref) / period
+  // with ref = smallest profiled SM size (34 here).
+  const double wcet_sec = frac * capacity.work_rate * period_sec /
+                          speedup.speedup(gpu::OpClass::kConv, 34.0);
+  t.wcet.per_stage.resize(1);
+  for (int sms : {34, 41}) {
+    t.wcet.per_stage[0][sms] = SimTime::from_sec(wcet_sec);
+    t.wcet.total[sms] = SimTime::from_sec(wcet_sec);
+  }
+  return t;
+}
+
+TEST(Placer, RoundRobinRotatesAcrossDevices) {
+  Placer p({small_device(), small_device(), small_device()},
+           PlacementPolicy::kRoundRobin);
+  const auto cap = small_device().capacity;
+  std::vector<int> assigned;
+  for (int i = 0; i < 6; ++i) {
+    const auto d = p.place(make_task(i, "t" + std::to_string(i), 0.05, cap));
+    ASSERT_TRUE(d.has_value());
+    assigned.push_back(*d);
+  }
+  EXPECT_EQ(assigned, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Placer, LeastLoadedEvensOutUtilizationFraction) {
+  Placer p({small_device(), big_device()}, PlacementPolicy::kLeastLoaded);
+  const auto cap = small_device().capacity;
+  // Empty fleet: tie on 0 utilization, stable order picks device 0.
+  EXPECT_EQ(p.place(make_task(0, "a", 0.1, cap)), std::optional<int>(0));
+  // Device 0 now carries load; the empty device 1 must win.
+  EXPECT_EQ(p.place(make_task(1, "b", 0.1, cap)), std::optional<int>(1));
+  // Fractions stay within one task of each other as placements continue.
+  for (int i = 2; i < 10; ++i) {
+    ASSERT_TRUE(p.place(make_task(i, "t" + std::to_string(i), 0.1, cap)));
+  }
+  EXPECT_NEAR(p.utilization(0), p.utilization(1), 0.11);
+}
+
+TEST(Placer, BinPackWorstFitPrefersLargestSpareCapacity) {
+  Placer p({small_device(), big_device()},
+           PlacementPolicy::kBinPackUtilization);
+  const auto cap = small_device().capacity;
+  // The 3090 has the larger absolute spare capacity, so — unlike
+  // least-loaded, which ties on fraction and picks device 0 — worst-fit
+  // must start on device 1.
+  EXPECT_EQ(p.place(make_task(0, "a", 0.05, cap)), std::optional<int>(1));
+  // It keeps choosing the bigger device until its spare dips below the
+  // 2080 Ti's.
+  EXPECT_GT(p.task_count(1), 0);
+}
+
+TEST(Placer, HashAffinityIsDeterministicAndSticky) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device(), small_device(), small_device(), small_device()},
+           PlacementPolicy::kHashAffinity);
+  const auto home = p.place(make_task(0, "camera-7", 0.01, cap));
+  ASSERT_TRUE(home.has_value());
+  // Same name keeps landing on the same device.
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(p.place(make_task(i, "camera-7", 0.01, cap)), home);
+  }
+  // And a fresh placer reproduces the mapping (stable hash, not
+  // std::hash).
+  Placer q({small_device(), small_device(), small_device(), small_device()},
+           PlacementPolicy::kHashAffinity);
+  EXPECT_EQ(q.place(make_task(0, "camera-7", 0.01, cap)), home);
+}
+
+TEST(Placer, HashAffinityProbesPastSaturatedHome) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device(), small_device()}, PlacementPolicy::kHashAffinity);
+  // Saturate the home device of "hot" with heavy relaxed-deadline tasks.
+  const auto home = p.place(make_task(0, "hot", 0.45, cap, 10.0));
+  ASSERT_TRUE(home.has_value());
+  ASSERT_EQ(p.place(make_task(1, "hot", 0.45, cap, 10.0)), home);
+  // The next "hot" task no longer fits at home (utilization would reach
+  // 1.35 > margin) but must spill to the other device instead of being
+  // rejected.
+  const auto spill = p.place(make_task(2, "hot", 0.45, cap, 10.0));
+  ASSERT_TRUE(spill.has_value());
+  EXPECT_NE(*spill, *home);
+}
+
+TEST(Placer, RejectsWhenEveryDeviceIsSaturated) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device(), small_device()}, PlacementPolicy::kLeastLoaded);
+  int placed = 0;
+  int i = 0;
+  // Each task demands 45% of a device (relaxed deadline so utilization is
+  // the binding test): two fit per device, the fifth finds no room.
+  while (placed < 32) {
+    const auto d =
+        p.place(make_task(i, "t" + std::to_string(i), 0.45, cap, 10.0));
+    ++i;
+    if (!d) break;
+    ++placed;
+  }
+  EXPECT_EQ(placed, 4);
+  EXPECT_EQ(p.rejected(), 1);
+  // Once saturated, equally heavy tasks keep being rejected on every
+  // policy's probe order.
+  EXPECT_FALSE(
+      p.place(make_task(i + 1, "late", 0.45, cap, 10.0)).has_value());
+  EXPECT_EQ(p.rejected(), 2);
+}
+
+TEST(Placer, HeterogeneousPoolCapacityModelsPerContextSizes) {
+  // The list-based pool_capacity overload (used by Cluster for explicit
+  // per-context SM limits) must model the actual layout, not context 0
+  // replicated — a {10, 58} pool clearly outperforms uniform {10, 10}.
+  const auto speedup = gpu::SpeedupModel::rtx2080ti();
+  const auto lopsided = rt::pool_capacity(speedup, gpu::SharingParams{}, 68,
+                                          std::vector<int>{10, 58}, 4);
+  const auto tiny = rt::pool_capacity(speedup, gpu::SharingParams{}, 68,
+                                      std::vector<int>{10, 10}, 4);
+  const auto uniform = rt::pool_capacity(speedup, gpu::SharingParams{}, 68,
+                                         2, 34, 4);
+  EXPECT_GT(lopsided.work_rate, tiny.work_rate);
+  // And the uniform overload is exactly the list overload's special case.
+  const auto uniform_as_list = rt::pool_capacity(
+      speedup, gpu::SharingParams{}, 68, std::vector<int>{34, 34}, 4);
+  EXPECT_DOUBLE_EQ(uniform.work_rate, uniform_as_list.work_rate);
+  EXPECT_EQ(uniform.total_slots, uniform_as_list.total_slots);
+}
+
+TEST(Placer, DisabledAdmissionPlacesEverything) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device()}, PlacementPolicy::kRoundRobin,
+           /*admission_margin=*/0.0);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        p.place(make_task(i, "t" + std::to_string(i), 0.5, cap)).has_value());
+  }
+  EXPECT_EQ(p.rejected(), 0);
+  EXPECT_EQ(p.task_count(0), 40);
+  EXPECT_GT(p.utilization(0), 1.0);  // load tracking still works
+}
+
+}  // namespace
+}  // namespace sgprs::cluster

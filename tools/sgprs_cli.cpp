@@ -6,6 +6,8 @@
 //   sgprs_cli --scheduler=naive --tasks=20 --duration=5
 //   sgprs_cli --sweep=1:30 --csv=fig3.csv --contexts=2 --oversub=2.0
 //   sgprs_cli --network=resnet50 --tasks=8 --fps=15 --stages=8
+//   sgprs_cli --devices=4 --placement=binpack --tasks=40
+//   sgprs_cli --devices=2080ti,3090 --placement=hash --tasks=24
 #include <fstream>
 #include <iostream>
 
@@ -18,27 +20,46 @@ namespace {
 
 using namespace sgprs;
 
-std::function<dnn::Network()> network_by_name(const std::string& name) {
-  if (name == "resnet18") return [] { return dnn::resnet18(); };
-  if (name == "resnet34") return [] { return dnn::resnet34(); };
-  if (name == "resnet50") return [] { return dnn::resnet50(); };
-  if (name == "alexnet") return [] { return dnn::alexnet(); };
-  if (name == "vgg11") return [] { return dnn::vgg11(); };
-  if (name == "mobilenet") return [] { return dnn::mobilenet_like(); };
-  if (name == "lenet5") return [] { return dnn::lenet5(); };
-  if (name == "mlp3") return [] { return dnn::mlp3(); };
-  return nullptr;
+/// Per-device breakdown plus the fleet rollup row.
+void print_fleet(const workload::ClusterScenarioResult& r) {
+  metrics::Table devices({"device", "spec", "SMs", "tasks", "FPS", "DMR",
+                          "p99 (ms)", "util"});
+  for (const auto& d : r.fleet.devices) {
+    devices.add_row({std::to_string(d.device_index), d.device_name,
+                     std::to_string(d.total_sms),
+                     std::to_string(d.tasks_assigned),
+                     metrics::Table::fmt(d.snapshot.fps, 1),
+                     metrics::Table::pct(d.snapshot.dmr),
+                     metrics::Table::fmt(d.snapshot.p99_latency_ms, 2),
+                     metrics::Table::pct(d.utilization)});
+  }
+  devices.print(std::cout);
+
+  const auto& f = r.fleet.fleet;
+  metrics::Table fleet({"fleet metric", "value"});
+  fleet.add_row({"tasks placed", std::to_string(r.fleet.tasks_assigned)});
+  fleet.add_row({"tasks rejected",
+                 std::to_string(r.fleet.tasks_rejected)});
+  fleet.add_row({"total FPS", metrics::Table::fmt(f.fps, 1)});
+  fleet.add_row({"on-time FPS", metrics::Table::fmt(f.fps_on_time, 1)});
+  fleet.add_row({"DMR", metrics::Table::pct(f.dmr)});
+  fleet.add_row({"p99 latency (ms)",
+                 metrics::Table::fmt(f.p99_latency_ms, 2)});
+  fleet.add_row({"mean utilization",
+                 metrics::Table::pct(r.fleet.mean_utilization)});
+  fleet.add_row({"migrations", std::to_string(r.stage_migrations)});
+  std::cout << "\n";
+  fleet.print(std::cout);
 }
 
 int run(const common::FlagParser& flags) {
   workload::ScenarioConfig cfg;
   const std::string sched = flags.get("scheduler");
-  if (sched == "sgprs") {
-    cfg.scheduler = workload::SchedulerKind::kSgprs;
-  } else if (sched == "naive") {
-    cfg.scheduler = workload::SchedulerKind::kNaive;
+  if (const auto kind = rt::parse_scheduler_kind(sched)) {
+    cfg.scheduler = *kind;
   } else {
-    std::cerr << "unknown --scheduler (want sgprs|naive): " << sched << "\n";
+    std::cerr << "unknown --scheduler (want "
+              << rt::scheduler_kind_names() << "): " << sched << "\n";
     return 1;
   }
   cfg.num_contexts = flags.get_int("contexts");
@@ -52,9 +73,45 @@ int run(const common::FlagParser& flags) {
   cfg.sgprs.medium_boost = flags.get_bool("medium-boost");
   cfg.sgprs.abort_hopeless = flags.get_bool("abort-hopeless");
   cfg.sgprs.max_in_flight_per_task = flags.get_int("in-flight");
-  cfg.network_builder = network_by_name(flags.get("network"));
+  cfg.network_builder = dnn::network_builder_by_name(flags.get("network"));
   if (!cfg.network_builder) {
-    std::cerr << "unknown --network: " << flags.get("network") << "\n";
+    std::cerr << "unknown --network (want " << dnn::network_names()
+              << "): " << flags.get("network") << "\n";
+    return 1;
+  }
+
+  const auto fleet = cluster::parse_fleet(flags.get("devices"));
+  if (!fleet) {
+    std::cerr << "bad --devices (want a count or a comma list of "
+              << gpu::device_names() << "): " << flags.get("devices")
+              << "\n";
+    return 1;
+  }
+  cfg.num_devices = static_cast<int>(fleet->size());
+  if (cfg.num_devices == 1) {
+    cfg.device = fleet->front();  // single-GPU path honours --devices=3090
+  } else {
+    cfg.fleet = *fleet;
+  }
+  // Placement/admission only exist on the cluster path; an explicit flag
+  // on a 1-device run routes there too (instead of being silently
+  // dropped), giving a one-device fleet with admission control.
+  const bool fleet_mode = cfg.num_devices > 1 || flags.has("placement") ||
+                          flags.has("admission-margin");
+  if (const auto policy =
+          cluster::parse_placement_policy(flags.get("placement"))) {
+    cfg.placement = *policy;
+  } else {
+    std::cerr << "unknown --placement (want "
+              << cluster::placement_policy_names()
+              << "): " << flags.get("placement") << "\n";
+    return 1;
+  }
+  cfg.admission_margin = flags.get_double("admission-margin");
+  if (cfg.admission_margin > 1.0) {
+    std::cerr << "bad --admission-margin (want a fraction in (0, 1], or "
+                 "<= 0 to disable admission): "
+              << flags.get("admission-margin") << "\n";
     return 1;
   }
 
@@ -73,6 +130,21 @@ int run(const common::FlagParser& flags) {
       std::cerr << "bad --sweep range\n";
       return 1;
     }
+  }
+
+  if (fleet_mode) {
+    if (sweep_from != 0) {
+      std::cerr << "--sweep is not supported in fleet mode; use "
+                   "bench/fig_cluster_scaling for fleet sweeps\n";
+      return 1;
+    }
+    const auto r = workload::run_cluster_scenario(cfg);
+    std::cout << cfg.num_devices << "-device fleet, scheduler " << sched
+              << ", placement "
+              << cluster::to_string(cfg.placement) << ", "
+              << cfg.num_tasks << " tasks offered\n\n";
+    print_fleet(r);
+    return 0;
   }
 
   if (sweep_from == 0) {
@@ -133,22 +205,31 @@ int run(const common::FlagParser& flags) {
 
 int main(int argc, char** argv) {
   common::FlagParser flags;
-  flags.define("scheduler", "sgprs | naive", "sgprs");
+  flags.define("scheduler", rt::scheduler_kind_names(), "sgprs");
   flags.define("contexts", "context pool size (paper: 2 or 3)", "2");
   flags.define("oversub", "over-subscription level (SGPRS only)", "1.5");
   flags.define("tasks", "number of identical periodic tasks", "16");
   flags.define("fps", "task rate", "30");
   flags.define("stages", "stages per task", "6");
-  flags.define("network",
-               "resnet18|resnet34|resnet50|alexnet|vgg11|mobilenet|lenet5|"
-               "mlp3",
-               "resnet18");
+  flags.define("network", dnn::network_names(), "resnet18");
   flags.define("duration", "simulated seconds", "2.0");
   flags.define("warmup", "warm-up seconds excluded from metrics", "0.4");
   flags.define("seed", "phase-jitter seed", "42");
   flags.define("in-flight", "max in-flight jobs per task", "1");
   flags.define("sweep", "sweep task counts, e.g. 1:30", "");
   flags.define("csv", "write sweep results to a CSV file", "");
+  flags.define("devices",
+               "fleet: a device count (\"4\") or a comma list of device "
+               "names (\"2080ti,3090\")",
+               "1");
+  flags.define("placement",
+               std::string("fleet placement policy: ") +
+                   cluster::placement_policy_names(),
+               "leastloaded");
+  flags.define("admission-margin",
+               "fleet admission budget as a fraction of per-device "
+               "capacity; 0 disables admission control",
+               "0.95");
   flags.define("medium-boost",
                "medium-priority promotion of late chains (paper: on)",
                "true");
