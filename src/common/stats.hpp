@@ -1,4 +1,8 @@
 // Streaming and batch statistics used by the metrics layer.
+//
+// RunningStats keeps O(1) mean/min/max/variance (Welford); Percentiles
+// stores samples for exact quantiles — fine at simulation scale, where a
+// run produces thousands (not billions) of latency samples per task.
 #pragma once
 
 #include <cstddef>

@@ -1,4 +1,7 @@
 // Tensor shapes for inference-time cost derivation.
+//
+// NCHW with batch fixed at 1 (real-time inference serves single frames);
+// layer cost models consume these dimensions to derive FLOPs and bytes.
 #pragma once
 
 #include <cstdint>

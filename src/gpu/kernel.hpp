@@ -1,4 +1,8 @@
 // Kernel descriptor: the unit of work submitted to a stream.
+//
+// Work is expressed in SM-seconds (execution time on exactly one SM), so
+// the executor derives the duration at any partition size from the
+// per-op-class SpeedupModel; launch overhead never scales with SMs.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,8 @@
 // Observer interface for kernel lifecycle events (tracing / accounting).
+//
+// The Executor emits submit/start/finish callbacks; metrics::TraceRecorder
+// turns them into chrome://tracing JSON, and tests use them to assert on
+// exact kernel interleavings without touching executor internals.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,10 @@
-// Run-time job state (one job = one frame of a periodic task).
+// Run-time job state (one job = one frame of a task).
+//
+// A Job tracks one release through its stage chain: the per-stage absolute
+// virtual deadlines assigned at release, which stage runs next, whether a
+// predecessor missed (driving the medium-priority promotion), and the last
+// context used (driving the migration counter). Schedulers own Jobs; the
+// Task stays immutable shared state.
 #pragma once
 
 #include <cstdint>

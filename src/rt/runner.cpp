@@ -14,13 +14,46 @@ Runner::Runner(sim::Engine& engine, Scheduler& scheduler,
   SGPRS_CHECK(cfg_.duration > SimTime::zero());
   SGPRS_CHECK(cfg_.release_jitter >= SimTime::zero());
   // Jitter must not reorder a task's releases: bound it by the shortest
-  // period in the set.
+  // guaranteed inter-arrival gap in the set (the period, or a sporadic
+  // task's effective minimum separation).
   for (const auto& t : tasks_) {
-    SGPRS_CHECK_MSG(cfg_.release_jitter < t.period ||
+    const SimTime min_gap =
+        t.arrival == ArrivalModel::kSporadic &&
+                t.min_separation > SimTime::zero()
+            ? t.min_separation
+            : t.period;
+    SGPRS_CHECK_MSG(cfg_.release_jitter < min_gap ||
                         cfg_.release_jitter == SimTime::zero(),
-                    "release jitter must stay below every period");
+                    "release jitter must stay below every task's minimum "
+                    "inter-arrival gap");
+    if (t.arrival == ArrivalModel::kSporadic) {
+      // Compare against the *effective* minimum so a max below the
+      // defaulted min (the period) is rejected, not silently dropped.
+      SGPRS_CHECK_MSG(t.max_separation == SimTime::zero() ||
+                          min_gap <= t.max_separation,
+                      "sporadic min_separation must not exceed "
+                      "max_separation for task " << t.name);
+      // Seed per task so the draw sequence is a function of (seed, task id)
+      // alone, never of how other tasks' events interleave.
+      sporadic_rngs_.emplace(
+          t.id, common::Rng(cfg_.jitter_seed +
+                            0x9e3779b97f4a7c15ULL *
+                                (static_cast<std::uint64_t>(t.id) + 1)));
+    }
     scheduler_.admit(t);
   }
+}
+
+SimTime Runner::next_interarrival(const Task& task) {
+  if (task.arrival == ArrivalModel::kPeriodic) return task.period;
+  const SimTime lo = task.min_separation > SimTime::zero()
+                         ? task.min_separation
+                         : task.period;
+  const SimTime hi = task.max_separation > lo ? task.max_separation : lo;
+  if (hi == lo) return lo;
+  auto& rng = sporadic_rngs_.at(task.id);
+  return lo + SimTime::from_ns(static_cast<std::int64_t>(
+                  rng.next_double() * static_cast<double>((hi - lo).ns)));
 }
 
 void Runner::arm_release(const Task& task, SimTime at) {
@@ -34,7 +67,7 @@ void Runner::arm_release(const Task& task, SimTime at) {
   engine_.schedule_at(fire, [this, &task, at, fire] {
     ++releases_;
     scheduler_.release_job(task, fire);
-    arm_release(task, at + task.period);
+    arm_release(task, at + next_interarrival(task));
   });
 }
 

@@ -1,7 +1,8 @@
-// Drives a simulation: periodic job releases for a task set, a scheduler,
-// and a bounded run.
+// Drives a simulation: job releases for a task set (periodic or sporadic
+// per task's ArrivalModel), a scheduler, and a bounded run.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -39,12 +40,17 @@ class Runner {
 
  private:
   void arm_release(const Task& task, SimTime at);
+  /// Gap from this release to the next: the period for periodic tasks, a
+  /// per-task-seeded uniform draw in [min_separation, max_separation] for
+  /// sporadic ones (deterministic regardless of event interleaving).
+  SimTime next_interarrival(const Task& task);
 
   sim::Engine& engine_;
   Scheduler& scheduler_;
   const std::vector<Task>& tasks_;
   RunnerConfig cfg_;
   common::Rng jitter_rng_;
+  std::map<int, common::Rng> sporadic_rngs_;  // task id -> arrival rng
   std::int64_t releases_ = 0;
 };
 

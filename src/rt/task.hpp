@@ -40,6 +40,13 @@ enum class PriorityPolicy {
   kAllHigh,
 };
 
+/// How a task's job releases arrive. The paper's tasks are strictly
+/// periodic; kSporadic is the scenario-spec extension: inter-arrival times
+/// are drawn uniformly in [min_separation, max_separation], so the
+/// worst-case rate (the one admission analysis must budget for) is
+/// 1 / min_separation.
+enum class ArrivalModel { kPeriodic, kSporadic };
+
 struct StageInfo {
   int index = 0;
   std::vector<dnn::NodeId> nodes;
@@ -57,6 +64,13 @@ struct Task {
   SimTime period;
   SimTime deadline;  // relative, explicit (paper: D_i given initially)
   SimTime phase;     // first release offset
+  /// Sporadic tasks release with random inter-arrivals in
+  /// [min_separation, max_separation]; zero fields default to the period
+  /// (so utilization/admission math keyed on `period` stays worst-case
+  /// correct when min_separation == period). Periodic tasks ignore both.
+  ArrivalModel arrival = ArrivalModel::kPeriodic;
+  SimTime min_separation;
+  SimTime max_separation;
   std::vector<StageInfo> stages;
   /// Isolated per-stage WCETs at each pool SM size (offline measurement).
   dnn::WcetTable wcet;

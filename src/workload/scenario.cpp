@@ -68,9 +68,43 @@ std::vector<rt::Task> build_task_set(const ScenarioConfig& cfg,
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  SGPRS_CHECK(cfg.num_tasks >= 1);
-  SGPRS_CHECK(cfg.warmup < cfg.duration);
+void validate(const ScenarioConfig& cfg) {
+  SGPRS_CHECK_MSG(cfg.num_tasks >= 1,
+                  "num_tasks must be >= 1, got " << cfg.num_tasks);
+  SGPRS_CHECK_MSG(cfg.fps > 0.0, "fps must be > 0, got " << cfg.fps);
+  SGPRS_CHECK_MSG(cfg.num_stages >= 1,
+                  "num_stages must be >= 1, got " << cfg.num_stages);
+  // Explicit per-context SM limits replace num_contexts, but only on the
+  // SGPRS path (the naive pool stays uniform and ignores them).
+  const bool explicit_pool = !cfg.context_sms.empty() &&
+                             cfg.scheduler == SchedulerKind::kSgprs;
+  SGPRS_CHECK_MSG(cfg.num_contexts >= 1 || explicit_pool,
+                  "num_contexts must be >= 1, got " << cfg.num_contexts);
+  SGPRS_CHECK_MSG(cfg.oversubscription >= 1.0,
+                  "oversubscription must be >= 1.0 (the paper's SGPRS_os), "
+                  "got " << cfg.oversubscription);
+  for (int sms : cfg.context_sms) {
+    SGPRS_CHECK_MSG(sms >= 1, "context_sms entries must be >= 1, got " << sms);
+  }
+  SGPRS_CHECK_MSG(cfg.duration > SimTime::zero(), "duration must be > 0");
+  SGPRS_CHECK_MSG(cfg.warmup < cfg.duration,
+                  "warmup (" << cfg.warmup.to_sec()
+                             << " s) must be below duration ("
+                             << cfg.duration.to_sec() << " s)");
+  SGPRS_CHECK_MSG(cfg.sgprs.max_in_flight_per_task >= 1,
+                  "sgprs.max_in_flight_per_task must be >= 1, got "
+                      << cfg.sgprs.max_in_flight_per_task);
+  SGPRS_CHECK_MSG(cfg.num_devices >= 1 || !cfg.fleet.empty(),
+                  "fleet must not be empty: num_devices must be >= 1, got "
+                      << cfg.num_devices);
+  SGPRS_CHECK_MSG(cfg.admission_margin <= 1.0,
+                  "admission_margin must be a fraction in (0, 1] (or <= 0 "
+                  "to disable admission), got " << cfg.admission_margin);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg,
+                            const TaskSetBuilder& task_builder) {
+  validate(cfg);
 
   sim::Engine engine;
   gpu::Executor exec(engine, cfg.device, gpu::SpeedupModel::rtx2080ti(),
@@ -85,7 +119,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       pool_sizes.push_back(pc.sm_limit);
     }
   }
-  std::vector<rt::Task> tasks = build_task_set(cfg, pool_sizes);
+  std::vector<rt::Task> tasks = task_builder
+                                    ? task_builder(cfg, pool_sizes)
+                                    : build_task_set(cfg, pool_sizes);
+  SGPRS_CHECK_MSG(!tasks.empty(), "task-set builder produced no tasks");
 
   metrics::Collector collector(cfg.warmup);
   std::unique_ptr<rt::Scheduler> scheduler;
@@ -99,13 +136,16 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   rt::RunnerConfig rcfg;
   rcfg.duration = cfg.duration;
+  // Sporadic inter-arrival draws key off this seed too; periodic runs
+  // never touch the runner rng, so this cannot perturb the paper path.
+  rcfg.jitter_seed = cfg.seed;
   rt::Runner runner(engine, *scheduler, tasks, rcfg);
   runner.run();
 
   ScenarioResult result;
   result.aggregate = collector.aggregate(cfg.duration);
-  for (int i = 0; i < cfg.num_tasks; ++i) {
-    result.per_task.push_back(collector.per_task(i, cfg.duration));
+  for (const auto& t : tasks) {
+    result.per_task.push_back(collector.per_task(t.id, cfg.duration));
   }
   result.releases = runner.releases_issued();
   if (auto* s = dynamic_cast<rt::SgprsScheduler*>(scheduler.get())) {
@@ -117,10 +157,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   return result;
 }
 
-ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg) {
-  SGPRS_CHECK(cfg.num_tasks >= 1);
-  SGPRS_CHECK(cfg.warmup < cfg.duration);
-  SGPRS_CHECK(cfg.num_devices >= 1 || !cfg.fleet.empty());
+ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg,
+                                           const TaskSetBuilder& task_builder) {
+  validate(cfg);
 
   sim::Engine engine;
   metrics::Collector collector(cfg.warmup);
@@ -138,10 +177,12 @@ ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg) {
   ccfg.sharing = cfg.sharing;
   cluster::Cluster fleet(engine, collector, ccfg);
 
-  fleet.place(build_task_set(cfg, fleet.pool_sm_sizes()));
+  fleet.place(task_builder ? task_builder(cfg, fleet.pool_sm_sizes())
+                           : build_task_set(cfg, fleet.pool_sm_sizes()));
 
   rt::RunnerConfig rcfg;
   rcfg.duration = cfg.duration;
+  rcfg.jitter_seed = cfg.seed;
   fleet.start(rcfg);
   engine.run_until(cfg.duration);
 

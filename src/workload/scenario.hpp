@@ -90,8 +90,25 @@ struct ScenarioResult {
   double dmr() const { return aggregate.dmr; }
 };
 
+/// Checks every ScenarioConfig invariant in one place (task counts, rates,
+/// pool shape, oversubscription >= 1, fleet size, admission margin, sim
+/// window) and throws common::CheckError with a message naming the bad
+/// field. run_scenario / run_cluster_scenario call this on entry; callers
+/// that build configs from user input (CLI, scenario specs) can call it
+/// early to fail before any simulation state exists.
+void validate(const ScenarioConfig& cfg);
+
+/// Custom task-set construction hook: given the validated config and the
+/// distinct context SM sizes to profile WCETs at, produce the tasks to run.
+/// The scenario-spec layer uses this for heterogeneous / sporadic /
+/// generated task sets; when absent the default builder clones
+/// cfg.num_tasks identical tasks (the paper's setup).
+using TaskSetBuilder = std::function<std::vector<rt::Task>(
+    const ScenarioConfig& cfg, const std::vector<int>& pool_sm_sizes)>;
+
 /// Builds and runs one scenario to completion.
-ScenarioResult run_scenario(const ScenarioConfig& cfg);
+ScenarioResult run_scenario(const ScenarioConfig& cfg,
+                            const TaskSetBuilder& tasks = {});
 
 /// Result of a fleet run: per-device + rolled-up metrics plus the
 /// scheduler counters summed across devices.
@@ -112,7 +129,8 @@ struct ClusterScenarioResult {
 /// assigned by cfg.placement with admission control. With one device and
 /// every task admitted this follows the exact event sequence of
 /// run_scenario (same seed → identical counts).
-ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg);
+ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg,
+                                           const TaskSetBuilder& tasks = {});
 
 /// Runs the scenario at every task count in [from, to] (the x-axis of
 /// Figs. 3 and 4). Results are indexed by (n - from).

@@ -1,0 +1,550 @@
+#include "workload/spec.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "cluster/placement.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/profiler.hpp"
+#include "workload/taskset.hpp"
+
+namespace sgprs::workload {
+
+namespace {
+
+using common::JsonError;
+using common::JsonValue;
+
+[[noreturn]] void bad(const std::string& path, const std::string& msg) {
+  throw SpecError(path + ": " + msg);
+}
+
+/// Unknown keys are errors, exactly like unknown CLI flags: a typo must not
+/// silently become a default.
+void check_keys(const JsonValue& obj,
+                std::initializer_list<const char*> allowed,
+                const std::string& path) {
+  for (const auto& [key, value] : obj.members()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string names;
+      for (const char* a : allowed) {
+        if (!names.empty()) names += ", ";
+        names += a;
+      }
+      bad(path, "unknown key \"" + key + "\" (allowed: " + names + ")");
+    }
+  }
+}
+
+const JsonValue& require_object(const JsonValue& v, const std::string& path) {
+  if (!v.is_object()) bad(path, std::string("expected an object, got ") +
+                              v.type_name());
+  return v;
+}
+
+/// Typed getters: absent key -> default; wrong type -> SpecError with the
+/// full field path.
+template <typename F>
+auto get_field(const char* key, const std::string& path,
+               F accessor) {
+  try {
+    return accessor();
+  } catch (const JsonError& e) {
+    throw SpecError(path + "." + key + ": " + e.what());
+  }
+}
+
+double num_or(const JsonValue& obj, const char* key, double def,
+              const std::string& path) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_number(); });
+}
+
+int int_or(const JsonValue& obj, const char* key, int def,
+           const std::string& path) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return def;
+  const std::int64_t n = get_field(key, path, [&] { return v->as_int(); });
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    bad(path + std::string(".") + key, "integer out of range");
+  }
+  return static_cast<int>(n);
+}
+
+bool bool_or(const JsonValue& obj, const char* key, bool def,
+             const std::string& path) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_bool(); });
+}
+
+std::string str_or(const JsonValue& obj, const char* key,
+                   const std::string& def, const std::string& path) {
+  const JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_string(); });
+}
+
+rt::PriorityPolicy parse_priority_policy(const std::string& s,
+                                         const std::string& path) {
+  if (s == "last_stage_high") return rt::PriorityPolicy::kLastStageHigh;
+  if (s == "all_low") return rt::PriorityPolicy::kAllLow;
+  if (s == "all_high") return rt::PriorityPolicy::kAllHigh;
+  bad(path, "unknown priority policy \"" + s +
+                "\" (want last_stage_high|all_low|all_high)");
+}
+
+rt::ArrivalModel parse_arrival_model(const std::string& s,
+                                     const std::string& path) {
+  if (s == "periodic") return rt::ArrivalModel::kPeriodic;
+  if (s == "sporadic") return rt::ArrivalModel::kSporadic;
+  bad(path, "unknown arrival model \"" + s + "\" (want periodic|sporadic)");
+}
+
+void parse_pool(const JsonValue& v, ScenarioConfig& cfg,
+                const std::string& path) {
+  require_object(v, path);
+  check_keys(v, {"contexts", "oversubscription", "context_sms"}, path);
+  cfg.num_contexts = int_or(v, "contexts", cfg.num_contexts, path);
+  cfg.oversubscription =
+      num_or(v, "oversubscription", cfg.oversubscription, path);
+  if (const JsonValue* sms = v.find("context_sms")) {
+    const auto items = get_field("context_sms", path,
+                                 [&] { return sms->items(); });
+    for (const auto& item : items) {
+      cfg.context_sms.push_back(get_field(
+          "context_sms", path,
+          [&] { return static_cast<int>(item.as_int()); }));
+    }
+  }
+}
+
+void parse_sim(const JsonValue& v, ScenarioConfig& cfg,
+               const std::string& path) {
+  require_object(v, path);
+  check_keys(v, {"duration_s", "warmup_s", "seed", "jitter_phases"}, path);
+  cfg.duration = common::SimTime::from_sec(
+      num_or(v, "duration_s", cfg.duration.to_sec(), path));
+  cfg.warmup = common::SimTime::from_sec(
+      num_or(v, "warmup_s", cfg.warmup.to_sec(), path));
+  if (const JsonValue* seed = v.find("seed")) {
+    cfg.seed = static_cast<std::uint64_t>(
+        get_field("seed", path, [&] { return seed->as_int(); }));
+  }
+  cfg.jitter_phases = bool_or(v, "jitter_phases", cfg.jitter_phases, path);
+}
+
+void parse_sgprs(const JsonValue& v, ScenarioConfig& cfg,
+                 const std::string& path) {
+  require_object(v, path);
+  check_keys(v,
+             {"medium_boost", "abort_hopeless", "max_in_flight",
+              "high_streams_steal", "queue_order"},
+             path);
+  cfg.sgprs.medium_boost =
+      bool_or(v, "medium_boost", cfg.sgprs.medium_boost, path);
+  cfg.sgprs.abort_hopeless =
+      bool_or(v, "abort_hopeless", cfg.sgprs.abort_hopeless, path);
+  cfg.sgprs.max_in_flight_per_task =
+      int_or(v, "max_in_flight", cfg.sgprs.max_in_flight_per_task, path);
+  cfg.sgprs.high_streams_steal =
+      bool_or(v, "high_streams_steal", cfg.sgprs.high_streams_steal, path);
+  const std::string order = str_or(v, "queue_order", "edf", path);
+  if (order == "edf") {
+    cfg.sgprs.queue_order = rt::QueueOrder::kEdf;
+  } else if (order == "fifo") {
+    cfg.sgprs.queue_order = rt::QueueOrder::kFifo;
+  } else {
+    bad(path + ".queue_order",
+        "unknown order \"" + order + "\" (want edf|fifo)");
+  }
+}
+
+void parse_naive(const JsonValue& v, ScenarioConfig& cfg,
+                 const std::string& path) {
+  require_object(v, path);
+  check_keys(v, {"max_in_flight", "host_sync_gap_ms"}, path);
+  cfg.naive.max_in_flight_per_task =
+      int_or(v, "max_in_flight", cfg.naive.max_in_flight_per_task, path);
+  cfg.naive.host_sync_gap = common::SimTime::from_ms(
+      num_or(v, "host_sync_gap_ms", cfg.naive.host_sync_gap.to_ms(), path));
+}
+
+void parse_fleet(const JsonValue& v, ScenarioSpec& spec,
+                 const std::string& path) {
+  require_object(v, path);
+  check_keys(v, {"devices", "placement", "admission_margin"}, path);
+  spec.fleet_mode = true;
+  if (const JsonValue* devices = v.find("devices")) {
+    if (devices->is_number()) {
+      const int n = get_field("devices", path, [&] {
+        return static_cast<int>(devices->as_int());
+      });
+      if (n < 1) bad(path + ".devices", "device count must be >= 1");
+      spec.base.num_devices = n;
+    } else if (devices->is_array()) {
+      for (const auto& item : devices->items()) {
+        const std::string name = get_field("devices", path,
+                                           [&] { return item.as_string(); });
+        const auto dev = gpu::device_by_name(name);
+        if (!dev) {
+          bad(path + ".devices", "unknown device \"" + name + "\" (want " +
+                                     gpu::device_names() + ")");
+        }
+        spec.base.fleet.push_back(*dev);
+      }
+      if (spec.base.fleet.empty()) {
+        bad(path + ".devices", "device list must not be empty");
+      }
+      spec.base.num_devices = static_cast<int>(spec.base.fleet.size());
+    } else {
+      bad(path + ".devices",
+          std::string("expected a count or an array of device names, got ") +
+              devices->type_name());
+    }
+  }
+  const std::string placement =
+      str_or(v, "placement", cluster::to_string(spec.base.placement), path);
+  if (const auto policy = cluster::parse_placement_policy(placement)) {
+    spec.base.placement = *policy;
+  } else {
+    bad(path + ".placement", "unknown policy \"" + placement + "\" (want " +
+                                 cluster::placement_policy_names() + ")");
+  }
+  spec.base.admission_margin =
+      num_or(v, "admission_margin", spec.base.admission_margin, path);
+}
+
+TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v,
+             {"name", "count", "network", "fps", "stages", "deadline_ms",
+              "phase_ms", "priority", "arrival", "min_separation_ms",
+              "max_separation_ms"},
+             path);
+  TaskEntrySpec e;
+  e.name = str_or(v, "name", e.name, path);
+  e.count = int_or(v, "count", e.count, path);
+  e.network = str_or(v, "network", e.network, path);
+  e.fps = num_or(v, "fps", e.fps, path);
+  e.num_stages = int_or(v, "stages", e.num_stages, path);
+  e.deadline_ms = num_or(v, "deadline_ms", e.deadline_ms, path);
+  e.phase_ms = num_or(v, "phase_ms", e.phase_ms, path);
+  e.priority_policy = parse_priority_policy(
+      str_or(v, "priority", "last_stage_high", path), path + ".priority");
+  e.arrival = parse_arrival_model(str_or(v, "arrival", "periodic", path),
+                                  path + ".arrival");
+  e.min_separation_ms =
+      num_or(v, "min_separation_ms", e.min_separation_ms, path);
+  e.max_separation_ms =
+      num_or(v, "max_separation_ms", e.max_separation_ms, path);
+  // For sporadic tasks fps is only a shorthand for min_separation =
+  // 1000/fps; stating both invites silent disagreement, so reject it.
+  if (e.arrival == rt::ArrivalModel::kSporadic && v.find("fps") &&
+      v.find("min_separation_ms")) {
+    bad(path, "sporadic tasks take either fps or min_separation_ms, not "
+              "both (min_separation defaults to 1000/fps)");
+  }
+  return e;
+}
+
+GeneratorSpec parse_generator(const JsonValue& v, const std::string& path) {
+  require_object(v, path);
+  check_keys(v,
+             {"count", "total_utilization", "stages", "min_fps", "max_fps",
+              "networks", "seed"},
+             path);
+  GeneratorSpec g;
+  g.count = int_or(v, "count", g.count, path);
+  g.total_utilization =
+      num_or(v, "total_utilization", g.total_utilization, path);
+  g.num_stages = int_or(v, "stages", g.num_stages, path);
+  g.min_fps = num_or(v, "min_fps", g.min_fps, path);
+  g.max_fps = num_or(v, "max_fps", g.max_fps, path);
+  if (const JsonValue* networks = v.find("networks")) {
+    const auto items = get_field("networks", path,
+                                 [&] { return networks->items(); });
+    for (const auto& item : items) {
+      g.networks.push_back(get_field("networks", path,
+                                     [&] { return item.as_string(); }));
+    }
+  }
+  if (const JsonValue* seed = v.find("seed")) {
+    g.seed = static_cast<std::uint64_t>(
+        get_field("seed", path, [&] { return seed->as_int(); }));
+  }
+  return g;
+}
+
+void check_network_known(const std::string& network, const std::string& path) {
+  if (!dnn::network_builder_by_name(network)) {
+    bad(path, "unknown network \"" + network + "\" (want " +
+                  dnn::network_names() + ")");
+  }
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
+                                 const std::string& default_name) {
+  const std::string path = "spec";
+  require_object(root, path);
+  check_keys(root,
+             {"name", "description", "scheduler", "device", "pool", "sim",
+              "sgprs", "naive", "tasks", "generator", "fleet"},
+             path);
+
+  ScenarioSpec spec;
+  spec.name = str_or(root, "name", default_name, path);
+  spec.description = str_or(root, "description", "", path);
+
+  const std::string sched =
+      str_or(root, "scheduler", rt::to_string(spec.base.scheduler), path);
+  if (const auto kind = rt::parse_scheduler_kind(sched)) {
+    spec.base.scheduler = *kind;
+  } else {
+    bad(path + ".scheduler", "unknown scheduler \"" + sched + "\" (want " +
+                                 rt::scheduler_kind_names() + ")");
+  }
+
+  if (const JsonValue* device = root.find("device")) {
+    const std::string name = get_field("device", path,
+                                       [&] { return device->as_string(); });
+    if (const auto dev = gpu::device_by_name(name)) {
+      spec.base.device = *dev;
+    } else {
+      bad(path + ".device", "unknown device \"" + name + "\" (want " +
+                                gpu::device_names() + ")");
+    }
+  }
+
+  if (const JsonValue* pool = root.find("pool")) {
+    parse_pool(*pool, spec.base, path + ".pool");
+  }
+  if (const JsonValue* sim = root.find("sim")) {
+    parse_sim(*sim, spec.base, path + ".sim");
+  }
+  if (const JsonValue* sgprs = root.find("sgprs")) {
+    parse_sgprs(*sgprs, spec.base, path + ".sgprs");
+  }
+  if (const JsonValue* naive = root.find("naive")) {
+    parse_naive(*naive, spec.base, path + ".naive");
+  }
+  if (const JsonValue* fleet = root.find("fleet")) {
+    parse_fleet(*fleet, spec, path + ".fleet");
+  }
+
+  if (const JsonValue* tasks = root.find("tasks")) {
+    const auto& items = get_field("tasks", path,
+                                  [&] { return tasks->items(); });
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      spec.tasks.push_back(parse_task_entry(
+          items[i], path + ".tasks[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const JsonValue* generator = root.find("generator")) {
+    spec.generator = parse_generator(*generator, path + ".generator");
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_spec(const std::string& path) {
+  // File stem ("scenarios/foo.json" -> "foo") names anonymous specs.
+  const std::string stem = std::filesystem::path(path).stem().string();
+  ScenarioSpec spec = parse_scenario_spec(common::parse_json_file(path), stem);
+  validate(spec);
+  return spec;
+}
+
+void validate(const ScenarioSpec& spec) {
+  if (spec.generator && !spec.tasks.empty()) {
+    throw SpecError("spec: \"tasks\" and \"generator\" are mutually "
+                    "exclusive — pick one");
+  }
+  if (!spec.generator && spec.tasks.empty()) {
+    throw SpecError("spec: needs a \"tasks\" array or a \"generator\"");
+  }
+
+  for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+    const auto& e = spec.tasks[i];
+    const std::string path = "spec.tasks[" + std::to_string(i) + "]";
+    if (e.count < 1) bad(path + ".count", "must be >= 1");
+    if (e.fps <= 0.0) bad(path + ".fps", "must be > 0");
+    if (e.num_stages < 1) bad(path + ".stages", "must be >= 1");
+    if (e.deadline_ms < 0.0) bad(path + ".deadline_ms", "must be >= 0");
+    check_network_known(e.network, path + ".network");
+    if (e.arrival == rt::ArrivalModel::kSporadic) {
+      if (e.min_separation_ms < 0.0 || e.max_separation_ms < 0.0) {
+        bad(path, "separations must be >= 0");
+      }
+      const double min_ms = e.min_separation_ms > 0.0 ? e.min_separation_ms
+                                                      : 1000.0 / e.fps;
+      if (e.max_separation_ms > 0.0 && e.max_separation_ms < min_ms) {
+        bad(path + ".max_separation_ms",
+            "must be >= the (possibly fps-derived) min separation");
+      }
+    } else if (e.min_separation_ms != 0.0 || e.max_separation_ms != 0.0) {
+      bad(path, "separations only apply to arrival=sporadic");
+    }
+  }
+
+  if (spec.generator) {
+    const auto& g = *spec.generator;
+    const std::string path = "spec.generator";
+    if (g.count < 1) bad(path + ".count", "must be >= 1");
+    if (g.total_utilization <= 0.0) {
+      bad(path + ".total_utilization", "must be > 0");
+    }
+    if (g.num_stages < 1) bad(path + ".stages", "must be >= 1");
+    if (g.min_fps <= 0.0 || g.max_fps < g.min_fps) {
+      bad(path, "needs 0 < min_fps <= max_fps");
+    }
+    for (const auto& n : g.networks) {
+      check_network_known(n, path + ".networks");
+    }
+  }
+
+  // Base-config invariants (pool shape, sim window, fleet, admission) are
+  // centralized in workload::validate; surface them as spec errors.
+  try {
+    workload::validate(lower(spec));
+  } catch (const common::CheckError& e) {
+    throw SpecError(std::string("spec: ") + e.what());
+  }
+}
+
+bool is_simple_spec(const ScenarioSpec& spec) {
+  if (spec.generator || spec.tasks.size() != 1) return false;
+  const auto& e = spec.tasks.front();
+  return e.arrival == rt::ArrivalModel::kPeriodic && e.phase_ms < 0.0 &&
+         e.deadline_ms == 0.0 && e.name == "task";
+}
+
+ScenarioConfig lower(const ScenarioSpec& spec) {
+  ScenarioConfig cfg = spec.base;
+  int total = 0;
+  if (spec.generator) {
+    total = spec.generator->count;
+  } else {
+    for (const auto& e : spec.tasks) total += e.count;
+  }
+  cfg.num_tasks = total > 0 ? total : 1;
+  if (is_simple_spec(spec)) {
+    const auto& e = spec.tasks.front();
+    cfg.fps = e.fps;
+    cfg.num_stages = e.num_stages;
+    cfg.priority_policy = e.priority_policy;
+    cfg.network_builder = dnn::network_builder_by_name(e.network);
+  }
+  return cfg;
+}
+
+TaskSetBuilder task_builder_for(const ScenarioSpec& spec) {
+  return [spec](const ScenarioConfig& cfg,
+                const std::vector<int>& pool_sizes) {
+    dnn::Profiler profiler(cfg.device, gpu::SpeedupModel::rtx2080ti(),
+                           dnn::CostModel::calibrated());
+
+    if (spec.generator) {
+      const auto& g = *spec.generator;
+      RandomTaskSetConfig rcfg;
+      rcfg.count = g.count;
+      rcfg.total_utilization = g.total_utilization;
+      rcfg.num_stages = g.num_stages;
+      rcfg.min_fps = g.min_fps;
+      rcfg.max_fps = g.max_fps;
+      rcfg.seed = g.seed;
+      for (const auto& name : g.networks) {
+        rcfg.network_choices.push_back(dnn::network_builder_by_name(name));
+      }
+      return build_random_taskset(rcfg, profiler, pool_sizes);
+    }
+
+    // Explicit entries: build each network once, clone per replica, draw
+    // phases from one seeded rng in task order (mirrors the identical-task
+    // builder's consumption pattern).
+    common::Rng rng(cfg.seed);
+    std::map<std::string, std::shared_ptr<const dnn::Network>> networks;
+    std::vector<rt::Task> tasks;
+    int id = 0;
+    for (const auto& e : spec.tasks) {
+      auto it = networks.find(e.network);
+      if (it == networks.end()) {
+        it = networks
+                 .emplace(e.network,
+                          std::make_shared<const dnn::Network>(
+                              dnn::network_builder_by_name(e.network)()))
+                 .first;
+      }
+      const double min_sep_ms = e.min_separation_ms > 0.0
+                                    ? e.min_separation_ms
+                                    : 1000.0 / e.fps;
+      rt::TaskConfig tc;
+      // Sporadic tasks are built at their worst-case rate so period ==
+      // min_separation and utilization/admission math stays conservative.
+      tc.fps = e.arrival == rt::ArrivalModel::kSporadic ? 1000.0 / min_sep_ms
+                                                        : e.fps;
+      tc.num_stages = e.num_stages;
+      tc.priority_policy = e.priority_policy;
+      if (e.deadline_ms > 0.0) {
+        tc.deadline = common::SimTime::from_ms(e.deadline_ms);
+      }
+      for (int i = 0; i < e.count; ++i) {
+        rt::Task t = rt::build_task(id, it->second, tc, profiler, pool_sizes);
+        t.name = e.name + std::to_string(id);
+        if (e.phase_ms >= 0.0) {
+          t.phase = common::SimTime::from_ms(e.phase_ms);
+        } else if (cfg.jitter_phases) {
+          t.phase =
+              common::SimTime::from_sec(rng.next_double() * t.period.to_sec());
+        }
+        if (e.arrival == rt::ArrivalModel::kSporadic) {
+          t.arrival = rt::ArrivalModel::kSporadic;
+          t.min_separation = common::SimTime::from_ms(min_sep_ms);
+          t.max_separation = common::SimTime::from_ms(
+              e.max_separation_ms > 0.0 ? e.max_separation_ms
+                                        : 1.5 * min_sep_ms);
+        }
+        tasks.push_back(std::move(t));
+        ++id;
+      }
+    }
+    return tasks;
+  };
+}
+
+SpecResult run_spec(const ScenarioSpec& spec) {
+  validate(spec);
+  const ScenarioConfig cfg = lower(spec);
+
+  SpecResult result;
+  result.name = spec.name;
+  result.fleet = spec.fleet_mode;
+  // Simple specs run through the default identical-task builder — the
+  // exact code path of the hard-coded benches, so results are
+  // bit-identical (pinned by spec_test).
+  const TaskSetBuilder builder =
+      is_simple_spec(spec) ? TaskSetBuilder{} : task_builder_for(spec);
+  if (spec.fleet_mode) {
+    result.cluster = run_cluster_scenario(cfg, builder);
+  } else {
+    result.single = run_scenario(cfg, builder);
+  }
+  return result;
+}
+
+}  // namespace sgprs::workload

@@ -1,0 +1,130 @@
+// Declarative JSON scenario specs (docs/scenario-format.md is the full
+// schema reference).
+//
+// A spec describes everything run_scenario / run_cluster_scenario need —
+// scheduler, pool shape, sim window, a *heterogeneous* task list (explicit
+// entries or a UUniFast generator) and an optional fleet section — so a
+// workload lives in a versioned .json file instead of a recompiled binary.
+// Lowering guarantee: a "simple" spec (one periodic task entry, default
+// phases) lowers onto the identical-task fast path of ScenarioConfig and is
+// bit-identical to the hard-coded benches (pinned by
+// tests/workload/spec_test.cpp against scenarios/paper_scenario1.json).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "workload/scenario.hpp"
+
+namespace sgprs::workload {
+
+/// Semantic spec error (unknown field, bad value, missing section). The
+/// message names the offending field path, e.g. "tasks[2].fps: must be > 0".
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One task entry: `count` replicas of a (network, rate, stages, arrival)
+/// combination. Times are milliseconds in the JSON schema because frame
+/// budgets are naturally quoted that way.
+struct TaskEntrySpec {
+  std::string name = "task";
+  int count = 1;
+  std::string network = "resnet18";
+  double fps = 30.0;
+  int num_stages = 6;
+  /// Relative deadline; 0 = implicit (deadline = period).
+  double deadline_ms = 0.0;
+  /// First-release offset; < 0 = seeded random phase in [0, period).
+  double phase_ms = -1.0;
+  rt::PriorityPolicy priority_policy = rt::PriorityPolicy::kLastStageHigh;
+  rt::ArrivalModel arrival = rt::ArrivalModel::kPeriodic;
+  /// Sporadic only. 0 = derive min from fps (1000/fps) and max as
+  /// 1.5 * min. Admission treats 1/min_separation as the worst-case rate.
+  double min_separation_ms = 0.0;
+  double max_separation_ms = 0.0;
+};
+
+/// UUniFast task-set generator (workload/taskset.hpp), for capacity
+/// studies: `count` tasks whose utilizations sum to `total_utilization`.
+struct GeneratorSpec {
+  int count = 8;
+  double total_utilization = 2.0;
+  int num_stages = 6;
+  double min_fps = 5.0;
+  double max_fps = 120.0;
+  /// Network names drawn uniformly; empty = the taskset default mix.
+  std::vector<std::string> networks;
+  std::uint64_t seed = 7;
+};
+
+struct ScenarioSpec {
+  std::string name;         // defaults to the file stem
+  std::string description;  // free text, echoed in reports
+  /// Scheduler/pool/device/fleet/sim knobs, lowered 1:1 from the JSON.
+  /// Task fields inside (num_tasks, fps, ...) are filled at run time.
+  ScenarioConfig base;
+  /// Explicit task entries, in file order. Mutually exclusive with
+  /// `generator`.
+  std::vector<TaskEntrySpec> tasks;
+  std::optional<GeneratorSpec> generator;
+  /// True when the spec has a "fleet" section: the run goes through the
+  /// cluster path (placement + admission control) even with one device.
+  bool fleet_mode = false;
+};
+
+/// Parses a spec from a JSON document. Unknown keys are errors (typos must
+/// not silently become defaults). `default_name` names the spec when the
+/// document has no "name". Throws SpecError / common::JsonError.
+ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
+                                 const std::string& default_name);
+
+/// Reads, parses and validates a .json spec file.
+ScenarioSpec load_scenario_spec(const std::string& path);
+
+/// Semantic validation beyond parsing: entry counts, rates, separations,
+/// generator bounds, fleet shape. Throws SpecError with the field path.
+void validate(const ScenarioSpec& spec);
+
+/// True when the spec lowers exactly onto ScenarioConfig's identical-task
+/// fast path (one periodic entry, jittered phases, implicit deadline): such
+/// specs run bit-identically to the hard-coded path.
+bool is_simple_spec(const ScenarioSpec& spec);
+
+/// The ScenarioConfig a run of this spec uses: base plus the task fields
+/// (num_tasks = total replica count; fps/stages/network from the single
+/// entry when the spec is simple).
+ScenarioConfig lower(const ScenarioSpec& spec);
+
+/// Task-set builder implementing the general (heterogeneous / sporadic /
+/// generated) path; exposed for tests and custom harnesses.
+TaskSetBuilder task_builder_for(const ScenarioSpec& spec);
+
+/// Result of running one spec: exactly one of the two run paths was taken.
+struct SpecResult {
+  std::string name;
+  bool fleet = false;
+  ScenarioResult single;          // valid when !fleet
+  ClusterScenarioResult cluster;  // valid when fleet
+
+  const metrics::Snapshot& aggregate() const {
+    return fleet ? cluster.fleet.fleet : single.aggregate;
+  }
+  double fps() const { return aggregate().fps; }
+  double dmr() const { return aggregate().dmr; }
+  std::int64_t releases() const {
+    return fleet ? cluster.releases : single.releases;
+  }
+  std::int64_t migrations() const {
+    return fleet ? cluster.stage_migrations : single.stage_migrations;
+  }
+};
+
+/// Validates and runs one spec end to end.
+SpecResult run_spec(const ScenarioSpec& spec);
+
+}  // namespace sgprs::workload

@@ -1,0 +1,162 @@
+#include "workload/suite.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/json_writer.hpp"
+#include "metrics/report.hpp"
+
+namespace sgprs::workload {
+
+namespace fs = std::filesystem;
+
+std::vector<SuiteRun> run_suite(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw SpecError("suite: not a directory: " + dir);
+  }
+
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (files.empty()) {
+    throw SpecError("suite: no .json scenario specs in " + dir);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<SuiteRun> runs;
+  runs.reserve(files.size());
+  for (const auto& file : files) {
+    SuiteRun run;
+    run.file = file;
+    run.scenario = fs::path(file).stem().string();
+    try {
+      const ScenarioSpec spec = load_scenario_spec(file);
+      run.scenario = spec.name;
+      run.description = spec.description;
+      run.result = run_spec(spec);
+      run.ok = true;
+    } catch (const std::exception& e) {
+      run.error = e.what();
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+bool suite_ok(const std::vector<SuiteRun>& runs) {
+  return std::all_of(runs.begin(), runs.end(),
+                     [](const SuiteRun& r) { return r.ok; });
+}
+
+namespace {
+
+std::string placed_cell(const SuiteRun& r) {
+  if (!r.result.fleet) return std::to_string(r.result.single.per_task.size());
+  const auto& fleet = r.result.cluster.fleet;
+  return std::to_string(fleet.tasks_assigned) + "/" +
+         std::to_string(fleet.tasks_assigned + fleet.tasks_rejected);
+}
+
+int device_count(const SuiteRun& r) {
+  return r.result.fleet
+             ? static_cast<int>(r.result.cluster.fleet.devices.size())
+             : 1;
+}
+
+}  // namespace
+
+void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
+  metrics::Table t({"scenario", "tasks", "devs", "FPS", "on-time", "DMR",
+                    "p99 (ms)", "migr", "status"});
+  for (const auto& r : runs) {
+    if (!r.ok) {
+      t.add_row({r.scenario, "-", "-", "-", "-", "-", "-", "-", "FAILED"});
+      continue;
+    }
+    const auto& a = r.result.aggregate();
+    t.add_row({r.scenario, placed_cell(r), std::to_string(device_count(r)),
+               metrics::Table::fmt(a.fps, 1),
+               metrics::Table::fmt(a.fps_on_time, 1),
+               metrics::Table::pct(a.dmr),
+               metrics::Table::fmt(a.p99_latency_ms, 2),
+               std::to_string(r.result.migrations()), "ok"});
+  }
+  t.print(out);
+  for (const auto& r : runs) {
+    if (!r.ok) out << "\n" << r.file << ": " << r.error << "\n";
+  }
+}
+
+void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
+  common::CsvWriter csv(out);
+  csv.header({"scenario", "file", "status", "tasks", "devices", "fps",
+              "fps_on_time", "dmr", "p50_ms", "p99_ms", "releases",
+              "migrations", "error"});
+  for (const auto& r : runs) {
+    if (!r.ok) {
+      csv.row({r.scenario, r.file, "failed", "", "", "", "", "", "", "", "",
+               "", r.error});
+      continue;
+    }
+    const auto& a = r.result.aggregate();
+    csv.row({r.scenario, r.file, "ok", placed_cell(r),
+             std::to_string(device_count(r)),
+             common::CsvWriter::num(a.fps, 2),
+             common::CsvWriter::num(a.fps_on_time, 2),
+             common::CsvWriter::num(a.dmr, 4),
+             common::CsvWriter::num(a.p50_latency_ms, 3),
+             common::CsvWriter::num(a.p99_latency_ms, 3),
+             std::to_string(r.result.releases()),
+             std::to_string(r.result.migrations()), ""});
+  }
+}
+
+void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
+  common::JsonWriter w(out);
+  w.begin_object();
+  w.field("suite_size", static_cast<std::int64_t>(runs.size()));
+  w.field("all_ok", suite_ok(runs));
+  w.key("scenarios").begin_array();
+  for (const auto& r : runs) {
+    w.begin_object();
+    w.field("scenario", r.scenario);
+    w.field("file", r.file);
+    w.field("ok", r.ok);
+    if (!r.description.empty()) w.field("description", r.description);
+    if (!r.ok) {
+      w.field("error", r.error);
+      w.end_object();
+      continue;
+    }
+    const auto& a = r.result.aggregate();
+    w.field("fleet", r.result.fleet);
+    w.field("devices", static_cast<std::int64_t>(device_count(r)));
+    if (r.result.fleet) {
+      w.field("tasks_placed",
+              static_cast<std::int64_t>(r.result.cluster.fleet.tasks_assigned));
+      w.field("tasks_rejected",
+              static_cast<std::int64_t>(r.result.cluster.fleet.tasks_rejected));
+    } else {
+      w.field("tasks",
+              static_cast<std::int64_t>(r.result.single.per_task.size()));
+    }
+    w.field("fps", a.fps);
+    w.field("fps_on_time", a.fps_on_time);
+    w.field("dmr", a.dmr);
+    w.field("p50_latency_ms", a.p50_latency_ms);
+    w.field("p99_latency_ms", a.p99_latency_ms);
+    w.field("releases", r.result.releases());
+    w.field("migrations", r.result.migrations());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace sgprs::workload

@@ -1,0 +1,44 @@
+// Scenario suite runner: executes every .json spec in a directory and
+// produces a side-by-side comparison report.
+//
+// A suite is just a directory (the repo ships `scenarios/`); files run in
+// filename order so reports diff cleanly. One failing spec (parse error,
+// bad field, runtime check) does not abort the suite — it becomes an error
+// row, and callers can distinguish "all green" from "ran with failures".
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workload/spec.hpp"
+
+namespace sgprs::workload {
+
+/// Outcome of one suite member.
+struct SuiteRun {
+  std::string file;  // path as discovered
+  bool ok = false;
+  std::string error;       // set when !ok
+  std::string scenario;    // spec name (file stem on parse failure)
+  std::string description; // spec description when parsed
+  SpecResult result;       // valid when ok
+};
+
+/// Runs every *.json file in `dir`, sorted by filename. Throws SpecError
+/// when the directory does not exist or holds no specs.
+std::vector<SuiteRun> run_suite(const std::string& dir);
+
+/// True iff every member ran to completion.
+bool suite_ok(const std::vector<SuiteRun>& runs);
+
+/// Human-readable comparison table (one row per scenario).
+void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out);
+
+/// Machine-readable reports: one row/record per scenario with the headline
+/// metrics (FPS, on-time FPS, DMR, latency percentiles, releases,
+/// migrations, fleet placement counts) plus error rows for failed specs.
+void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out);
+void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out);
+
+}  // namespace sgprs::workload

@@ -107,6 +107,98 @@ TEST_F(RunnerTest, MultipleTasksInterleave) {
   EXPECT_EQ(t1, 3);  // 0,20,40
 }
 
+TEST_F(RunnerTest, SporadicInterarrivalsStayInBounds) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  Task t = make_task(0, 100);  // 10 ms worst-case period
+  t.arrival = ArrivalModel::kSporadic;
+  t.min_separation = SimTime::from_ms(10);
+  t.max_separation = SimTime::from_ms(30);
+  std::vector<Task> tasks = {t};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_sec(1.0);
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  ASSERT_GE(sched.releases.size(), 2u);
+  bool saw_stretch = false;
+  for (std::size_t k = 1; k < sched.releases.size(); ++k) {
+    const SimTime gap =
+        sched.releases[k].second - sched.releases[k - 1].second;
+    EXPECT_GE(gap, SimTime::from_ms(10));
+    EXPECT_LE(gap, SimTime::from_ms(30));
+    if (gap > SimTime::from_ms(10)) saw_stretch = true;
+  }
+  EXPECT_TRUE(saw_stretch) << "draws must actually vary";
+}
+
+TEST_F(RunnerTest, SporadicDrawsAreDeterministicPerSeed) {
+  auto releases_for = [&](std::uint64_t seed) {
+    sim::Engine engine;
+    RecordingScheduler sched;
+    Task t = make_task(0, 100);
+    t.arrival = ArrivalModel::kSporadic;
+    t.min_separation = SimTime::from_ms(10);
+    t.max_separation = SimTime::from_ms(25);
+    std::vector<Task> tasks = {t};
+    RunnerConfig rc;
+    rc.duration = SimTime::from_ms(500);
+    rc.jitter_seed = seed;
+    Runner runner(engine, sched, tasks, rc);
+    runner.run();
+    return sched.releases;
+  };
+  EXPECT_EQ(releases_for(1), releases_for(1));
+  EXPECT_NE(releases_for(1), releases_for(2));
+}
+
+TEST_F(RunnerTest, SporadicDefaultsFallBackToPeriod) {
+  // Zero separations degrade to strictly periodic releases at the period.
+  sim::Engine engine;
+  RecordingScheduler sched;
+  Task t = make_task(0, 100);
+  t.arrival = ArrivalModel::kSporadic;
+  std::vector<Task> tasks = {t};
+  RunnerConfig rc;
+  rc.duration = SimTime::from_ms(35);
+  Runner runner(engine, sched, tasks, rc);
+  runner.run();
+  ASSERT_EQ(sched.releases.size(), 4u);
+  for (std::size_t k = 0; k < sched.releases.size(); ++k) {
+    EXPECT_EQ(sched.releases[k].second, SimTime::from_ms(10.0 * k));
+  }
+}
+
+TEST_F(RunnerTest, SporadicMinAboveMaxRejected) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  Task t = make_task(0, 100);
+  t.arrival = ArrivalModel::kSporadic;
+  t.min_separation = SimTime::from_ms(30);
+  t.max_separation = SimTime::from_ms(10);
+  std::vector<Task> tasks = {t};
+  EXPECT_THROW(Runner(engine, sched, tasks, {}), common::CheckError);
+
+  // A max below the *defaulted* min (the 10 ms period) must also be
+  // rejected, not silently clamped away.
+  t.min_separation = SimTime::zero();
+  t.max_separation = SimTime::from_ms(5);
+  std::vector<Task> tasks2 = {t};
+  EXPECT_THROW(Runner(engine, sched, tasks2, {}), common::CheckError);
+}
+
+TEST_F(RunnerTest, ReleaseJitterBoundedBySporadicMinSeparation) {
+  sim::Engine engine;
+  RecordingScheduler sched;
+  Task t = make_task(0, 100);  // 10 ms period
+  t.arrival = ArrivalModel::kSporadic;
+  t.min_separation = SimTime::from_ms(2);
+  t.max_separation = SimTime::from_ms(20);
+  std::vector<Task> tasks = {t};
+  RunnerConfig rc;
+  rc.release_jitter = SimTime::from_ms(5);  // < period but > min separation
+  EXPECT_THROW(Runner(engine, sched, tasks, rc), common::CheckError);
+}
+
 TEST_F(RunnerTest, ZeroDurationRejected) {
   sim::Engine engine;
   RecordingScheduler sched;

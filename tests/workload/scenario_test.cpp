@@ -119,5 +119,43 @@ TEST(Scenario, InvalidConfigThrows) {
   EXPECT_THROW(run_scenario(cfg2), common::CheckError);
 }
 
+TEST(Scenario, ValidateIsTheSingleCheckedEntryPoint) {
+  EXPECT_NO_THROW(validate(quick(SchedulerKind::kSgprs, 4)));
+
+  auto cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.fps = 0.0;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+  cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.oversubscription = 0.5;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+  cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.num_stages = 0;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+  cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.num_devices = 0;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+  cfg.fleet = {gpu::rtx3090()};  // an explicit fleet satisfies the check
+  EXPECT_NO_THROW(validate(cfg));
+  cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.admission_margin = 1.5;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+  cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.sgprs.max_in_flight_per_task = 0;
+  EXPECT_THROW(validate(cfg), common::CheckError);
+}
+
+TEST(Scenario, ValidateMessagesNameTheField) {
+  auto cfg = quick(SchedulerKind::kSgprs, 4);
+  cfg.oversubscription = 0.5;
+  try {
+    validate(cfg);
+    FAIL() << "expected CheckError";
+  } catch (const common::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("oversubscription"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace sgprs::workload

@@ -1,0 +1,124 @@
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sgprs::workload {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SuiteTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) / "sgprs_suite_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_spec(const std::string& name, const std::string& body) {
+    std::ofstream out(dir_ / name);
+    out << body;
+  }
+
+  fs::path dir_;
+};
+
+constexpr const char* kGood = R"({
+  "description": "tiny but healthy",
+  "pool": { "contexts": 2 },
+  "sim": { "duration_s": 0.5, "warmup_s": 0.1 },
+  "tasks": [ { "count": 2, "network": "lenet5", "fps": 30, "stages": 3 } ]
+})";
+
+TEST_F(SuiteTest, RunsEverySpecInFilenameOrder) {
+  write_spec("b_second.json", kGood);
+  write_spec("a_first.json", kGood);
+  write_spec("notes.txt", "not a spec — must be ignored");
+
+  const auto runs = run_suite(dir_.string());
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].scenario, "a_first");
+  EXPECT_EQ(runs[1].scenario, "b_second");
+  EXPECT_TRUE(suite_ok(runs));
+  for (const auto& r : runs) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.result.fps(), 0.0);
+    EXPECT_EQ(r.description, "tiny but healthy");
+  }
+}
+
+TEST_F(SuiteTest, FailingSpecBecomesErrorRowNotAbort) {
+  write_spec("a_good.json", kGood);
+  write_spec("b_broken.json", R"({ "tasks": [ { "fps": -5 } ] })");
+  write_spec("c_unparseable.json", "{ not json");
+
+  const auto runs = run_suite(dir_.string());
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_TRUE(runs[0].ok);
+  EXPECT_FALSE(runs[1].ok);
+  EXPECT_NE(runs[1].error.find("fps"), std::string::npos) << runs[1].error;
+  EXPECT_FALSE(runs[2].ok);
+  EXPECT_FALSE(suite_ok(runs));
+  EXPECT_EQ(runs[2].scenario, "c_unparseable") << "file stem names failures";
+}
+
+TEST_F(SuiteTest, EmptyOrMissingDirectoryThrows) {
+  EXPECT_THROW(run_suite((dir_ / "nope").string()), SpecError);
+  EXPECT_THROW(run_suite(dir_.string()), SpecError) << "no .json files";
+}
+
+TEST_F(SuiteTest, CsvReportHasOneRowPerScenario) {
+  write_spec("a_good.json", kGood);
+  write_spec("b_broken.json", "{ not json");
+  const auto runs = run_suite(dir_.string());
+
+  std::ostringstream csv;
+  write_suite_csv(runs, csv);
+  std::istringstream lines(csv.str());
+  std::string line;
+  int rows = 0;
+  std::getline(lines, line);
+  EXPECT_EQ(line.rfind("scenario,file,status", 0), 0u) << line;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  EXPECT_NE(csv.str().find("a_good,"), std::string::npos);
+  EXPECT_NE(csv.str().find(",failed,"), std::string::npos);
+}
+
+TEST_F(SuiteTest, JsonReportParsesBackAndCarriesMetrics) {
+  write_spec("a_good.json", kGood);
+  const auto runs = run_suite(dir_.string());
+
+  std::ostringstream out;
+  write_suite_json(runs, out);
+  // The report must round-trip through our own reader.
+  const auto doc = common::parse_json(out.str());
+  EXPECT_EQ(doc.at("suite_size").as_int(), 1);
+  EXPECT_TRUE(doc.at("all_ok").as_bool());
+  const auto& rows = doc.at("scenarios").items();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("scenario").as_string(), "a_good");
+  EXPECT_TRUE(rows[0].at("ok").as_bool());
+  EXPECT_GT(rows[0].at("fps").as_number(), 0.0);
+  EXPECT_EQ(rows[0].at("tasks").as_int(), 2);
+}
+
+TEST_F(SuiteTest, PrintSuiteListsFailuresBelowTable) {
+  write_spec("a_good.json", kGood);
+  write_spec("b_broken.json", "{ not json");
+  const auto runs = run_suite(dir_.string());
+  std::ostringstream out;
+  print_suite(runs, out);
+  EXPECT_NE(out.str().find("FAILED"), std::string::npos);
+  EXPECT_NE(out.str().find("b_broken.json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgprs::workload

@@ -8,6 +8,8 @@
 //   sgprs_cli --network=resnet50 --tasks=8 --fps=15 --stages=8
 //   sgprs_cli --devices=4 --placement=binpack --tasks=40
 //   sgprs_cli --devices=2080ti,3090 --placement=hash --tasks=24
+//   sgprs_cli --scenario=scenarios/paper_scenario1.json
+//   sgprs_cli --suite=scenarios --report=suite_report
 #include <fstream>
 #include <iostream>
 
@@ -15,6 +17,7 @@
 #include "common/flags.hpp"
 #include "metrics/report.hpp"
 #include "workload/scenario.hpp"
+#include "workload/suite.hpp"
 
 namespace {
 
@@ -52,7 +55,67 @@ void print_fleet(const workload::ClusterScenarioResult& r) {
   fleet.print(std::cout);
 }
 
+/// Single-run metrics table (shared by the flag path and --scenario).
+void print_single(const std::string& scheduler, int tasks,
+                  const workload::ScenarioResult& r) {
+  metrics::Table t({"metric", "value"});
+  t.add_row({"scheduler", scheduler});
+  t.add_row({"tasks", std::to_string(tasks)});
+  t.add_row({"total FPS", metrics::Table::fmt(r.fps(), 1)});
+  t.add_row({"on-time FPS", metrics::Table::fmt(r.aggregate.fps_on_time, 1)});
+  t.add_row({"DMR", metrics::Table::pct(r.dmr())});
+  t.add_row({"p50 latency (ms)",
+             metrics::Table::fmt(r.aggregate.p50_latency_ms, 2)});
+  t.add_row({"p99 latency (ms)",
+             metrics::Table::fmt(r.aggregate.p99_latency_ms, 2)});
+  t.add_row({"migrations", std::to_string(r.stage_migrations)});
+  t.add_row({"medium promotions", std::to_string(r.medium_promotions)});
+  t.print(std::cout);
+}
+
+/// --scenario=file.json: run one declarative spec.
+int run_scenario_file(const std::string& path) {
+  const auto spec = workload::load_scenario_spec(path);
+  const auto r = workload::run_spec(spec);
+  std::cout << "scenario " << spec.name;
+  if (!spec.description.empty()) std::cout << " — " << spec.description;
+  std::cout << "\n\n";
+  if (r.fleet) {
+    print_fleet(r.cluster);
+  } else {
+    print_single(rt::to_string(spec.base.scheduler),
+                 static_cast<int>(r.single.per_task.size()), r.single);
+  }
+  return 0;
+}
+
+/// --suite=dir: run every spec, print the comparison, write the report.
+int run_suite_dir(const std::string& dir, const std::string& report) {
+  const auto runs = workload::run_suite(dir);
+  workload::print_suite(runs, std::cout);
+
+  const std::string csv_path = report + ".csv";
+  const std::string json_path = report + ".json";
+  std::ofstream csv(csv_path);
+  std::ofstream json(json_path);
+  if (!csv || !json) {
+    std::cerr << "cannot write " << (csv ? json_path : csv_path) << "\n";
+    return 1;
+  }
+  workload::write_suite_csv(runs, csv);
+  workload::write_suite_json(runs, json);
+  std::cout << "\nwrote " << csv_path << " and " << json_path << "\n";
+  return workload::suite_ok(runs) ? 0 : 1;
+}
+
 int run(const common::FlagParser& flags) {
+  if (flags.has("scenario")) {
+    return run_scenario_file(flags.get("scenario"));
+  }
+  if (flags.has("suite")) {
+    return run_suite_dir(flags.get("suite"), flags.get("report"));
+  }
+
   workload::ScenarioConfig cfg;
   const std::string sched = flags.get("scheduler");
   if (const auto kind = rt::parse_scheduler_kind(sched)) {
@@ -107,13 +170,9 @@ int run(const common::FlagParser& flags) {
               << "): " << flags.get("placement") << "\n";
     return 1;
   }
+  // Range checking (margin <= 1, oversub >= 1, ...) is centralized in
+  // workload::validate, called by the run functions.
   cfg.admission_margin = flags.get_double("admission-margin");
-  if (cfg.admission_margin > 1.0) {
-    std::cerr << "bad --admission-margin (want a fraction in (0, 1], or "
-                 "<= 0 to disable admission): "
-              << flags.get("admission-margin") << "\n";
-    return 1;
-  }
 
   int sweep_from = 0;
   int sweep_to = 0;
@@ -149,20 +208,7 @@ int run(const common::FlagParser& flags) {
 
   if (sweep_from == 0) {
     const auto r = workload::run_scenario(cfg);
-    metrics::Table t({"metric", "value"});
-    t.add_row({"scheduler", sched});
-    t.add_row({"tasks", std::to_string(cfg.num_tasks)});
-    t.add_row({"total FPS", metrics::Table::fmt(r.fps(), 1)});
-    t.add_row({"on-time FPS",
-               metrics::Table::fmt(r.aggregate.fps_on_time, 1)});
-    t.add_row({"DMR", metrics::Table::pct(r.dmr())});
-    t.add_row({"p50 latency (ms)",
-               metrics::Table::fmt(r.aggregate.p50_latency_ms, 2)});
-    t.add_row({"p99 latency (ms)",
-               metrics::Table::fmt(r.aggregate.p99_latency_ms, 2)});
-    t.add_row({"migrations", std::to_string(r.stage_migrations)});
-    t.add_row({"medium promotions", std::to_string(r.medium_promotions)});
-    t.print(std::cout);
+    print_single(sched, cfg.num_tasks, r);
     return 0;
   }
 
@@ -218,6 +264,18 @@ int main(int argc, char** argv) {
   flags.define("in-flight", "max in-flight jobs per task", "1");
   flags.define("sweep", "sweep task counts, e.g. 1:30", "");
   flags.define("csv", "write sweep results to a CSV file", "");
+  flags.define("scenario",
+               "run a declarative JSON scenario spec "
+               "(docs/scenario-format.md); other workload flags are ignored",
+               "");
+  flags.define("suite",
+               "run every .json spec in a directory and write a comparison "
+               "report",
+               "");
+  flags.define("report",
+               "report file prefix for --suite (writes <prefix>.csv and "
+               "<prefix>.json)",
+               "suite_report");
   flags.define("devices",
                "fleet: a device count (\"4\") or a comma list of device "
                "names (\"2080ti,3090\")",
