@@ -1,0 +1,76 @@
+// bench_experiment_sweep — the Monte-Carlo counterpart of Fig. 3: a
+// DMR-vs-offered-utilization curve for SGPRS vs the naive baseline, with
+// 95% CIs over UUniFast seed replications (the in-code twin of
+// scenarios/experiments/dmr_vs_utilization.json), plus a wall-clock
+// comparison of the same 64-run grid at 1 worker vs 4 workers.
+//
+// The speedup printed at the end is the point of the thread pool: every
+// replication is an independent single-threaded simulation, so on a >= 4
+// core machine 4 jobs should cut wall clock by >= 2x. Reports stay
+// byte-identical regardless of worker count (pinned by tests).
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "workload/experiment.hpp"
+
+using namespace sgprs;
+
+namespace {
+
+workload::ExperimentSpec make_spec() {
+  workload::ExperimentSpec spec;
+  spec.name = "dmr_vs_utilization";
+  spec.description =
+      "DMR vs offered utilization, sgprs vs naive, 95% CI over UUniFast "
+      "replications";
+  spec.replications = 4;
+  spec.base_seed = 1009;
+
+  spec.base.name = spec.name;
+  spec.base.base.num_contexts = 2;
+  spec.base.base.oversubscription = 1.5;
+  spec.base.base.duration = common::SimTime::from_sec(1.2);
+  spec.base.base.warmup = common::SimTime::from_sec(0.3);
+  workload::GeneratorSpec gen;
+  gen.count = 12;
+  gen.total_utilization = 2.0;
+  gen.num_stages = 6;
+  spec.base.generator = gen;
+
+  workload::GridAxisSpec scheduler;
+  scheduler.kind = workload::GridAxisKind::kScheduler;
+  scheduler.name = "scheduler";
+  scheduler.schedulers = {rt::SchedulerKind::kSgprs,
+                          rt::SchedulerKind::kNaive};
+  spec.axes.push_back(scheduler);
+
+  workload::GridAxisSpec utilization;
+  utilization.kind = workload::GridAxisKind::kUtilization;
+  utilization.name = "utilization";
+  utilization.numeric = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  spec.axes.push_back(utilization);
+
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = make_spec();
+  std::cerr << "running " << workload::cell_count(spec) << " cells x "
+            << spec.replications << " replications serially...\n";
+  const auto serial = workload::run_experiment(spec, 1);
+  std::cerr << "... and on 4 workers\n";
+  const auto parallel = workload::run_experiment(spec, 4);
+
+  print_experiment(serial, std::cout);
+
+  const double speedup =
+      parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds
+                                  : 0.0;
+  std::cout << "\nwall clock: " << metrics::Table::fmt(serial.wall_seconds, 2)
+            << " s serial vs " << metrics::Table::fmt(parallel.wall_seconds, 2)
+            << " s on 4 jobs (speedup "
+            << metrics::Table::fmt(speedup, 2) << "x)\n";
+  return 0;
+}

@@ -11,6 +11,18 @@
 
 namespace sgprs::common {
 
+/// One splitmix64 step (Steele et al.): advances `state` by the golden
+/// ratio and returns the full-avalanche output. The single source of this
+/// finalizer — Rng seeding and the experiment engine's per-job seed
+/// derivation both build on it, so they can never drift apart.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
@@ -18,13 +30,7 @@ class Rng {
   void reseed(std::uint64_t seed) {
     // splitmix64 to spread a small seed across the full state.
     std::uint64_t x = seed;
-    for (auto& s : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
-    }
+    for (auto& s : state_) s = splitmix64_next(x);
   }
 
   std::uint64_t next_u64() {

@@ -49,6 +49,40 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+/// Two-sided 95% Student t critical values, indexed by degrees of freedom
+/// (entry 0 unused). Beyond df 30 the normal approximation is within 2%.
+constexpr double kT95[] = {
+    0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+    2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+    2.042};
+
+double t_critical_95(std::size_t df) {
+  if (df == 0) return 0.0;
+  if (df <= 30) return kT95[df];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace
+
+ConfidenceInterval RunningStats::confidence_interval() const {
+  ConfidenceInterval ci;
+  ci.mean = mean();
+  ci.n = n_;
+  if (n_ >= 2) {
+    ci.half_width =
+        t_critical_95(n_ - 1) * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+  ci.lo = ci.mean - ci.half_width;
+  ci.hi = ci.mean + ci.half_width;
+  return ci;
+}
+
 double Percentiles::quantile(double q) const {
   SGPRS_CHECK(q >= 0.0 && q <= 1.0);
   if (samples_.empty()) return 0.0;

@@ -10,6 +10,18 @@
 
 namespace sgprs::common {
 
+/// Two-sided 95% confidence interval on a mean. `half_width` is the ±
+/// term; [lo, hi] = mean ± half_width. With fewer than two samples the
+/// interval collapses to the mean (half_width 0) — callers distinguish
+/// "tight" from "unknown" via n.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t n = 0;
+};
+
 /// Streaming mean/variance/min/max (Welford's algorithm).
 class RunningStats {
  public:
@@ -25,6 +37,12 @@ class RunningStats {
   double sum() const { return sum_; }
 
   void merge(const RunningStats& other);
+
+  /// 95% CI on the mean using Student's t critical value for n-1 degrees
+  /// of freedom (exact table to df 30, then asymptotic). Load-bearing for
+  /// the Monte-Carlo experiment engine: per-cell replication stats are
+  /// merged across shards, then summarized as mean ± half_width.
+  ConfidenceInterval confidence_interval() const;
 
  private:
   std::size_t n_ = 0;

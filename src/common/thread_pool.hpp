@@ -1,0 +1,71 @@
+// Fixed-size worker pool with futures, for embarrassingly parallel
+// simulation fan-out (workload/experiment.hpp).
+//
+// Deliberately minimal: a FIFO task queue, N workers, submit() returning a
+// std::future. Determinism contract: the pool never reorders *results* —
+// callers that collect futures in submission order and reduce serially get
+// output independent of worker count (pinned by experiment tests). Tasks
+// must not submit new tasks from within a worker while the destructor runs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sgprs::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; use hardware_threads() for "all").
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue: blocks until every submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of tasks accepted and not yet started.
+  std::size_t pending() const;
+
+  /// Enqueues a callable; the future carries its return value (or the
+  /// exception it threw). FIFO dispatch order.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SGPRS_CHECK_MSG(!stop_, "submit() on a stopping ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace sgprs::common

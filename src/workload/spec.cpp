@@ -11,93 +11,15 @@
 #include "common/rng.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
+#include "workload/spec_util.hpp"
 #include "workload/taskset.hpp"
 
 namespace sgprs::workload {
 
 namespace {
 
-using common::JsonError;
 using common::JsonValue;
-
-[[noreturn]] void bad(const std::string& path, const std::string& msg) {
-  throw SpecError(path + ": " + msg);
-}
-
-/// Unknown keys are errors, exactly like unknown CLI flags: a typo must not
-/// silently become a default.
-void check_keys(const JsonValue& obj,
-                std::initializer_list<const char*> allowed,
-                const std::string& path) {
-  for (const auto& [key, value] : obj.members()) {
-    bool known = false;
-    for (const char* a : allowed) {
-      if (key == a) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) {
-      std::string names;
-      for (const char* a : allowed) {
-        if (!names.empty()) names += ", ";
-        names += a;
-      }
-      bad(path, "unknown key \"" + key + "\" (allowed: " + names + ")");
-    }
-  }
-}
-
-const JsonValue& require_object(const JsonValue& v, const std::string& path) {
-  if (!v.is_object()) bad(path, std::string("expected an object, got ") +
-                              v.type_name());
-  return v;
-}
-
-/// Typed getters: absent key -> default; wrong type -> SpecError with the
-/// full field path.
-template <typename F>
-auto get_field(const char* key, const std::string& path,
-               F accessor) {
-  try {
-    return accessor();
-  } catch (const JsonError& e) {
-    throw SpecError(path + "." + key + ": " + e.what());
-  }
-}
-
-double num_or(const JsonValue& obj, const char* key, double def,
-              const std::string& path) {
-  const JsonValue* v = obj.find(key);
-  if (!v) return def;
-  return get_field(key, path, [&] { return v->as_number(); });
-}
-
-int int_or(const JsonValue& obj, const char* key, int def,
-           const std::string& path) {
-  const JsonValue* v = obj.find(key);
-  if (!v) return def;
-  const std::int64_t n = get_field(key, path, [&] { return v->as_int(); });
-  if (n < std::numeric_limits<int>::min() ||
-      n > std::numeric_limits<int>::max()) {
-    bad(path + std::string(".") + key, "integer out of range");
-  }
-  return static_cast<int>(n);
-}
-
-bool bool_or(const JsonValue& obj, const char* key, bool def,
-             const std::string& path) {
-  const JsonValue* v = obj.find(key);
-  if (!v) return def;
-  return get_field(key, path, [&] { return v->as_bool(); });
-}
-
-std::string str_or(const JsonValue& obj, const char* key,
-                   const std::string& def, const std::string& path) {
-  const JsonValue* v = obj.find(key);
-  if (!v) return def;
-  return get_field(key, path, [&] { return v->as_string(); });
-}
+using namespace specdet;
 
 rt::PriorityPolicy parse_priority_policy(const std::string& s,
                                          const std::string& path) {
@@ -141,10 +63,7 @@ void parse_sim(const JsonValue& v, ScenarioConfig& cfg,
       num_or(v, "duration_s", cfg.duration.to_sec(), path));
   cfg.warmup = common::SimTime::from_sec(
       num_or(v, "warmup_s", cfg.warmup.to_sec(), path));
-  if (const JsonValue* seed = v.find("seed")) {
-    cfg.seed = static_cast<std::uint64_t>(
-        get_field("seed", path, [&] { return seed->as_int(); }));
-  }
+  cfg.seed = seed_or(v, "seed", cfg.seed, path);
   cfg.jitter_phases = bool_or(v, "jitter_phases", cfg.jitter_phases, path);
 }
 
@@ -283,10 +202,7 @@ GeneratorSpec parse_generator(const JsonValue& v, const std::string& path) {
                                      [&] { return item.as_string(); }));
     }
   }
-  if (const JsonValue* seed = v.find("seed")) {
-    g.seed = static_cast<std::uint64_t>(
-        get_field("seed", path, [&] { return seed->as_int(); }));
-  }
+  g.seed = seed_or(v, "seed", g.seed, path);
   return g;
 }
 
@@ -300,13 +216,19 @@ void check_network_known(const std::string& network, const std::string& path) {
 }  // namespace
 
 ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
-                                 const std::string& default_name) {
+                                 const std::string& default_name,
+                                 bool skip_experiment_section) {
   const std::string path = "spec";
   require_object(root, path);
   check_keys(root,
              {"name", "description", "scheduler", "device", "pool", "sim",
-              "sgprs", "naive", "tasks", "generator", "fleet"},
+              "sgprs", "naive", "tasks", "generator", "fleet", "experiment"},
              path);
+  if (!skip_experiment_section && root.find("experiment")) {
+    bad(path + ".experiment",
+        "this is an experiment spec — run it with --experiment (or "
+        "load_experiment_spec), not --scenario");
+  }
 
   ScenarioSpec spec;
   spec.name = str_or(root, "name", default_name, path);

@@ -23,9 +23,21 @@ namespace sgprs::workload {
 
 /// Semantic spec error (unknown field, bad value, missing section). The
 /// message names the offending field path, e.g. "tasks[2].fps: must be > 0".
+/// When constructed with an explicit path, path() exposes it structurally so
+/// report writers (suite CSV/JSON error rows) can emit a field_path column
+/// instead of making consumers re-parse the message.
 class SpecError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit SpecError(const std::string& msg) : std::runtime_error(msg) {}
+  SpecError(const std::string& path, const std::string& msg)
+      : std::runtime_error(path + ": " + msg), path_(path) {}
+
+  /// Offending field path ("spec.tasks[2].fps"); empty when the error is
+  /// not tied to a single field.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
 };
 
 /// One task entry: `count` replicas of a (network, rate, stages, arrival)
@@ -79,9 +91,13 @@ struct ScenarioSpec {
 
 /// Parses a spec from a JSON document. Unknown keys are errors (typos must
 /// not silently become defaults). `default_name` names the spec when the
-/// document has no "name". Throws SpecError / common::JsonError.
+/// document has no "name". A top-level "experiment" section is rejected with
+/// a pointed error unless `skip_experiment_section` — the experiment loader
+/// (workload/experiment.hpp) owns that key and parses the rest of the
+/// document through here. Throws SpecError / common::JsonError.
 ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
-                                 const std::string& default_name);
+                                 const std::string& default_name,
+                                 bool skip_experiment_section = false);
 
 /// Reads, parses and validates a .json spec file.
 ScenarioSpec load_scenario_spec(const std::string& path);

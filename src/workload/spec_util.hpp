@@ -1,0 +1,108 @@
+// Shared helpers for the declarative spec parsers (workload/spec.cpp and
+// workload/experiment.cpp): typed field getters that turn JSON type errors
+// into SpecError with the full field path, and unknown-key rejection.
+//
+// Internal detail namespace — not part of the workload API surface.
+#pragma once
+
+#include <initializer_list>
+#include <limits>
+#include <string>
+
+#include "common/json.hpp"
+#include "workload/spec.hpp"
+
+namespace sgprs::workload::specdet {
+
+[[noreturn]] inline void bad(const std::string& path, const std::string& msg) {
+  throw SpecError(path, msg);
+}
+
+/// Unknown keys are errors, exactly like unknown CLI flags: a typo must not
+/// silently become a default.
+inline void check_keys(const common::JsonValue& obj,
+                       std::initializer_list<const char*> allowed,
+                       const std::string& path) {
+  for (const auto& [key, value] : obj.members()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string names;
+      for (const char* a : allowed) {
+        if (!names.empty()) names += ", ";
+        names += a;
+      }
+      bad(path, "unknown key \"" + key + "\" (allowed: " + names + ")");
+    }
+  }
+}
+
+inline const common::JsonValue& require_object(const common::JsonValue& v,
+                                               const std::string& path) {
+  if (!v.is_object()) {
+    bad(path, std::string("expected an object, got ") + v.type_name());
+  }
+  return v;
+}
+
+/// Typed getters: absent key -> default; wrong type -> SpecError with the
+/// full field path.
+template <typename F>
+auto get_field(const char* key, const std::string& path, F accessor) {
+  try {
+    return accessor();
+  } catch (const common::JsonError& e) {
+    throw SpecError(path + "." + key, e.what());
+  }
+}
+
+inline double num_or(const common::JsonValue& obj, const char* key,
+                     double def, const std::string& path) {
+  const common::JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_number(); });
+}
+
+inline int int_or(const common::JsonValue& obj, const char* key, int def,
+                  const std::string& path) {
+  const common::JsonValue* v = obj.find(key);
+  if (!v) return def;
+  const std::int64_t n = get_field(key, path, [&] { return v->as_int(); });
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    bad(path + std::string(".") + key, "integer out of range");
+  }
+  return static_cast<int>(n);
+}
+
+inline bool bool_or(const common::JsonValue& obj, const char* key, bool def,
+                    const std::string& path) {
+  const common::JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_bool(); });
+}
+
+inline std::string str_or(const common::JsonValue& obj, const char* key,
+                          const std::string& def, const std::string& path) {
+  const common::JsonValue* v = obj.find(key);
+  if (!v) return def;
+  return get_field(key, path, [&] { return v->as_string(); });
+}
+
+inline std::uint64_t seed_or(const common::JsonValue& obj, const char* key,
+                             std::uint64_t def, const std::string& path) {
+  const common::JsonValue* v = obj.find(key);
+  if (!v) return def;
+  const std::int64_t n = get_field(key, path, [&] { return v->as_int(); });
+  // A negative seed would silently wrap to a huge uint64 — reject it like
+  // any other bad value instead.
+  if (n < 0) bad(path + std::string(".") + key, "seed must be >= 0");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace sgprs::workload::specdet

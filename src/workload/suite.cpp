@@ -40,6 +40,9 @@ std::vector<SuiteRun> run_suite(const std::string& dir) {
       run.description = spec.description;
       run.result = run_spec(spec);
       run.ok = true;
+    } catch (const SpecError& e) {
+      run.error = e.what();
+      run.field_path = e.path();
     } catch (const std::exception& e) {
       run.error = e.what();
     }
@@ -96,11 +99,11 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
   common::CsvWriter csv(out);
   csv.header({"scenario", "file", "status", "tasks", "devices", "fps",
               "fps_on_time", "dmr", "p50_ms", "p99_ms", "releases",
-              "migrations", "error"});
+              "migrations", "field_path", "error"});
   for (const auto& r : runs) {
     if (!r.ok) {
       csv.row({r.scenario, r.file, "failed", "", "", "", "", "", "", "", "",
-               "", r.error});
+               "", r.field_path, r.error});
       continue;
     }
     const auto& a = r.result.aggregate();
@@ -112,7 +115,7 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
              common::CsvWriter::num(a.p50_latency_ms, 3),
              common::CsvWriter::num(a.p99_latency_ms, 3),
              std::to_string(r.result.releases()),
-             std::to_string(r.result.migrations()), ""});
+             std::to_string(r.result.migrations()), "", ""});
   }
 }
 
@@ -130,6 +133,7 @@ void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
     if (!r.description.empty()) w.field("description", r.description);
     if (!r.ok) {
       w.field("error", r.error);
+      if (!r.field_path.empty()) w.field("field_path", r.field_path);
       w.end_object();
       continue;
     }

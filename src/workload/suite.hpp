@@ -20,6 +20,10 @@ struct SuiteRun {
   std::string file;  // path as discovered
   bool ok = false;
   std::string error;       // set when !ok
+  /// Failing field path ("spec.tasks[0].fps") when the error was a
+  /// SpecError tied to a field; empty otherwise. Propagated into the CSV
+  /// and JSON error rows so report consumers need not parse `error`.
+  std::string field_path;
   std::string scenario;    // spec name (file stem on parse failure)
   std::string description; // spec description when parsed
   SpecResult result;       // valid when ok

@@ -1,0 +1,157 @@
+// Property-based check of the placer: for every policy and ~100 random
+// task streams, a placement must never land on a device whose augmented
+// load fails the admission bound — the utilization of the chosen device
+// stays within the margin after every single placement, and rejections
+// happen only when no device admits the task.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/placer.hpp"
+#include "common/rng.hpp"
+#include "gpu/sharing.hpp"
+#include "gpu/speedup.hpp"
+
+namespace sgprs::cluster {
+namespace {
+
+using common::SimTime;
+
+constexpr double kMargin = 0.9;
+constexpr int kStreamsPerPolicy = 25;
+
+rt::PoolCapacityModel capacity_of(int total_sms, int sm_per_ctx) {
+  return rt::pool_capacity(gpu::SpeedupModel::rtx2080ti(),
+                           gpu::SharingParams{}, total_sms, 2, sm_per_ctx, 4);
+}
+
+PlacerDevice small_device() {
+  PlacerDevice d;
+  d.spec = gpu::rtx2080ti();
+  d.pool_sms = 34;
+  d.capacity = capacity_of(68, 34);
+  return d;
+}
+
+PlacerDevice big_device() {
+  PlacerDevice d;
+  d.spec = gpu::rtx3090();
+  d.pool_sms = 41;
+  d.capacity = capacity_of(82, 41);
+  return d;
+}
+
+/// Synthetic task demanding `frac` of the small device's capacity, with a
+/// relaxed deadline so the utilization budget is the binding admission
+/// test (same construction as placer_test.cpp).
+rt::Task make_task(int id, const std::string& name, double frac) {
+  const double period_sec = 1.0 / 30.0;
+  rt::Task t;
+  t.id = id;
+  t.name = name;
+  t.period = SimTime::from_sec(period_sec);
+  t.deadline = SimTime::from_sec(period_sec * 10.0);
+  const auto speedup = gpu::SpeedupModel::rtx2080ti();
+  const auto cap = capacity_of(68, 34);
+  const double wcet_sec = frac * cap.work_rate * period_sec /
+                          speedup.speedup(gpu::OpClass::kConv, 34.0);
+  t.wcet.per_stage.resize(1);
+  for (int sms : {34, 41}) {
+    t.wcet.per_stage[0][sms] = SimTime::from_sec(wcet_sec);
+    t.wcet.total[sms] = SimTime::from_sec(wcet_sec);
+  }
+  return t;
+}
+
+TEST(PlacerProperty, NoPlacementEverExceedsTheAdmissionBound) {
+  const PlacementPolicy policies[] = {
+      PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kBinPackUtilization, PlacementPolicy::kHashAffinity};
+
+  for (const auto policy : policies) {
+    for (int stream = 0; stream < kStreamsPerPolicy; ++stream) {
+      common::Rng rng(static_cast<std::uint64_t>(stream) * 131 +
+                      static_cast<std::uint64_t>(policy) + 1);
+      // 2-4 devices, mixed classes.
+      std::vector<PlacerDevice> devices;
+      const int n = static_cast<int>(rng.uniform_int(2, 4));
+      for (int d = 0; d < n; ++d) {
+        devices.push_back(rng.next_double() < 0.5 ? small_device()
+                                                  : big_device());
+      }
+      Placer placer(devices, policy, kMargin);
+
+      int placed = 0;
+      int rejected = 0;
+      const int offered = static_cast<int>(rng.uniform_int(10, 40));
+      for (int i = 0; i < offered; ++i) {
+        const double frac = rng.uniform(0.02, 0.5);
+        const std::string name =
+            "t" + std::to_string(rng.uniform_int(0, 6));  // hash collisions
+        const auto chosen = placer.place(make_task(i, name, frac));
+        if (!chosen) {
+          ++rejected;
+          continue;
+        }
+        ++placed;
+        ASSERT_GE(*chosen, 0);
+        ASSERT_LT(*chosen, placer.num_devices());
+        // The property: the device that took the task still satisfies the
+        // admission bound afterwards.
+        EXPECT_LE(placer.utilization(*chosen), kMargin + 1e-9)
+            << "policy " << to_string(policy) << " stream " << stream
+            << " placement " << i;
+      }
+      EXPECT_EQ(placer.rejected(), rejected);
+      int counted = 0;
+      for (int d = 0; d < placer.num_devices(); ++d) {
+        counted += placer.task_count(d);
+        // No device, chosen or not, may ever sit above the bound.
+        EXPECT_LE(placer.utilization(d), kMargin + 1e-9);
+      }
+      EXPECT_EQ(counted, placed);
+    }
+  }
+}
+
+TEST(PlacerProperty, RejectionImpliesNoDeviceCouldAdmit) {
+  // Whenever the placer rejects, by construction every device must be
+  // within `frac` of the margin — verify with a task small enough to fit
+  // anywhere: it must always place while any device has visible headroom.
+  for (int stream = 0; stream < 25; ++stream) {
+    common::Rng rng(9000 + stream);
+    Placer placer({small_device(), small_device()},
+                  PlacementPolicy::kLeastLoaded, kMargin);
+    for (int i = 0; i < 60; ++i) {
+      const auto chosen = placer.place(make_task(i, "x", 0.3));
+      if (chosen) continue;
+      // Rejected: neither device can hold another 0.3 of load.
+      for (int d = 0; d < placer.num_devices(); ++d) {
+        EXPECT_GT(placer.utilization(d) + 0.3, kMargin - 1e-9);
+      }
+      break;
+    }
+  }
+}
+
+TEST(PlacerProperty, DisabledAdmissionNeverRejects) {
+  for (const auto policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+        PlacementPolicy::kBinPackUtilization,
+        PlacementPolicy::kHashAffinity}) {
+    Placer placer({small_device(), big_device()}, policy,
+                  /*admission_margin=*/0.0);
+    common::Rng rng(1234);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(placer
+                      .place(make_task(i, "t" + std::to_string(i % 5),
+                                       rng.uniform(0.1, 0.8)))
+                      .has_value());
+    }
+    EXPECT_EQ(placer.rejected(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace sgprs::cluster

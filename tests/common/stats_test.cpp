@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace sgprs::common {
@@ -63,6 +66,146 @@ TEST(RunningStats, MergeWithEmpty) {
   empty.merge(a);
   EXPECT_EQ(empty.count(), 2u);
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, MergeTwoEmptiesStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeTwoSingletonsMatchesDirect) {
+  RunningStats a;
+  a.add(2.0);
+  RunningStats b;
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((2-4)^2 + (6-4)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(RunningStats, CrossShardMergeMatchesSequential) {
+  // The parallel-aggregation shape: many shards of very different sizes
+  // (including empty ones) merged pairwise must equal one serial stream.
+  RunningStats all;
+  std::vector<RunningStats> shards(7);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5, 50);
+    all.add(x);
+    shards[static_cast<std::size_t>(rng.uniform_int(0, 5))].add(x);
+    // shard 6 deliberately stays empty
+  }
+  RunningStats merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-9);
+}
+
+TEST(RunningStats, MergePreservesSelfAssignSafetyViaCopy) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(5.0);
+  RunningStats b = a;
+  a.merge(b);  // doubling a distribution keeps its mean
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(ConfidenceInterval, EmptyCollapsesToZero) {
+  RunningStats s;
+  const auto ci = s.confidence_interval();
+  EXPECT_EQ(ci.n, 0u);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);
+}
+
+TEST(ConfidenceInterval, OneSampleHasZeroWidth) {
+  RunningStats s;
+  s.add(3.5);
+  const auto ci = s.confidence_interval();
+  EXPECT_EQ(ci.n, 1u);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+}
+
+TEST(ConfidenceInterval, TwoSamplesUseT1) {
+  // n=2: mean 5, stddev sqrt(2)*|x-mean|... here samples 4 and 6:
+  // stddev = sqrt(2), half = t(1) * sqrt(2)/sqrt(2) = 12.706.
+  RunningStats s;
+  s.add(4.0);
+  s.add(6.0);
+  const auto ci = s.confidence_interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_NEAR(ci.half_width, 12.706, 1e-9);
+  EXPECT_NEAR(ci.lo, 5.0 - 12.706, 1e-9);
+  EXPECT_NEAR(ci.hi, 5.0 + 12.706, 1e-9);
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  // {2,4,4,4,5,5,7,9}: mean 5, s^2 = 32/7, n = 8 -> half width
+  // t(7) * sqrt(32/7) / sqrt(8) = 2.365 * 0.7559... = 1.78798...
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  const auto ci = s.confidence_interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_NEAR(ci.half_width, 2.365 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0),
+              1e-12);
+}
+
+TEST(ConfidenceInterval, ZeroVarianceIsZeroWidthAtAnyN) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(4.25);
+  const auto ci = s.confidence_interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 4.25);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceInterval, WidthShrinksWithSampleCount) {
+  Rng rng(7);
+  RunningStats small;
+  RunningStats big;
+  for (int i = 0; i < 8; ++i) small.add(rng.uniform(0, 1));
+  for (int i = 0; i < 800; ++i) big.add(rng.uniform(0, 1));
+  EXPECT_GT(small.confidence_interval().half_width,
+            big.confidence_interval().half_width);
+  // ~1.96 * sigma/sqrt(n) for the large sample: sigma ~ sqrt(1/12).
+  EXPECT_NEAR(big.confidence_interval().half_width,
+              1.96 * std::sqrt(1.0 / 12.0) / std::sqrt(800.0), 5e-3);
+}
+
+TEST(ConfidenceInterval, MergedShardsMatchSerialInterval) {
+  RunningStats serial;
+  RunningStats a;
+  RunningStats b;
+  Rng rng(21);
+  for (int i = 0; i < 64; ++i) {
+    const double x = rng.uniform(10, 20);
+    serial.add(x);
+    (i < 20 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.confidence_interval().half_width,
+              serial.confidence_interval().half_width, 1e-10);
+  EXPECT_NEAR(a.confidence_interval().mean, serial.confidence_interval().mean,
+              1e-10);
 }
 
 TEST(Percentiles, EmptyReturnsZero) {

@@ -1,0 +1,102 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sgprs::common {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expect = 0;
+  for (int i = 0; i < 100; ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPool, FuturesPreserveSubmissionIdentity) {
+  // The determinism contract: collecting futures in submission order maps
+  // result i to job i no matter which worker ran it.
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) futures.push_back(pool.submit([i] { return i; }));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[i].get(), i);
+}
+
+TEST(ThreadPool, ExceptionsTravelThroughTheFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkersRunConcurrently) {
+  // Two tasks that each wait for the other to start can only finish if at
+  // least two workers execute simultaneously.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  auto task = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++started;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(10),
+                       [&] { return started >= 2; });
+  };
+  auto a = pool.submit(task);
+  auto b = pool.submit(task);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // ~ThreadPool must block until everything ran
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SingleWorkerRunsFifo) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), CheckError);
+  EXPECT_THROW(ThreadPool(-3), CheckError);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace sgprs::common

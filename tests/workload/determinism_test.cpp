@@ -1,0 +1,102 @@
+// Golden-trace determinism regression: the whole Monte-Carlo layer rests on
+// run_spec being a pure function of its spec, including across threads. A
+// full-precision digest of every metric a run produces must be bit-identical
+// (1) across repeated serial runs and (2) when the same run executes inside
+// a 4-worker thread pool next to concurrent replicas. If threading (or a
+// stray global) ever perturbs simulation state, this fails loudly.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "workload/experiment.hpp"
+#include "workload/spec.hpp"
+
+namespace sgprs::workload {
+namespace {
+
+std::string paper_scenario1_path() {
+  return std::string(SGPRS_SOURCE_DIR) + "/scenarios/paper_scenario1.json";
+}
+
+void digest_snapshot(std::ostringstream& os, const metrics::Snapshot& s) {
+  os << s.counts.released << "," << s.counts.dropped << ","
+     << s.counts.on_time << "," << s.counts.late << "," << s.fps << ","
+     << s.fps_on_time << "," << s.dmr << "," << s.mean_latency_ms << ","
+     << s.p50_latency_ms << "," << s.p99_latency_ms << ","
+     << s.max_latency_ms << ";";
+}
+
+/// Bit-exact digest: hexfloat formatting means two digests compare equal
+/// iff every double is the same bit pattern, not merely close.
+std::string digest(const SpecResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << r.name << "|fleet=" << r.fleet << "|";
+  digest_snapshot(os, r.aggregate());
+  if (r.fleet) {
+    for (const auto& d : r.cluster.fleet.devices) {
+      os << "dev" << d.device_index << ":";
+      digest_snapshot(os, d.snapshot);
+    }
+    os << "rejected=" << r.cluster.rejected_task_ids.size() << "|";
+  } else {
+    for (const auto& t : r.single.per_task) digest_snapshot(os, t);
+    os << "events=" << r.single.sim_events
+       << "|busy=" << r.single.gpu_busy_sm_seconds << "|";
+  }
+  os << "releases=" << r.releases() << "|migrations=" << r.migrations();
+  return os.str();
+}
+
+TEST(GoldenTraceDeterminism, PaperScenario1SerialRerunsAreBitIdentical) {
+  const auto spec = load_scenario_spec(paper_scenario1_path());
+  const std::string first = digest(run_spec(spec));
+  const std::string second = digest(run_spec(spec));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("releases="), std::string::npos);
+}
+
+TEST(GoldenTraceDeterminism, FourWorkerPoolMatchesSerialBitForBit) {
+  const auto spec = load_scenario_spec(paper_scenario1_path());
+  const std::string serial = digest(run_spec(spec));
+
+  // Eight concurrent copies of the same run on four workers: every one
+  // must land on the serial digest even while racing the others for CPU.
+  common::ThreadPool pool(4);
+  std::vector<std::future<std::string>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&spec] { return digest(run_spec(spec)); }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), serial);
+}
+
+TEST(GoldenTraceDeterminism, MixedSpecsInterleavedStayIndependent) {
+  // Different specs sharing a pool must not contaminate each other: run
+  // scenario1 concurrently with a fleet spec and a generator spec, then
+  // verify scenario1's digest still matches its isolated serial run.
+  const auto s1 = load_scenario_spec(paper_scenario1_path());
+  const auto fleet = load_scenario_spec(std::string(SGPRS_SOURCE_DIR) +
+                                        "/scenarios/heterogeneous_fleet.json");
+  const auto gen = load_scenario_spec(std::string(SGPRS_SOURCE_DIR) +
+                                      "/scenarios/uunifast_capacity.json");
+  const std::string serial1 = digest(run_spec(s1));
+  const std::string serial_fleet = digest(run_spec(fleet));
+  const std::string serial_gen = digest(run_spec(gen));
+
+  common::ThreadPool pool(4);
+  auto f1 = pool.submit([&] { return digest(run_spec(s1)); });
+  auto f2 = pool.submit([&] { return digest(run_spec(fleet)); });
+  auto f3 = pool.submit([&] { return digest(run_spec(gen)); });
+  auto f4 = pool.submit([&] { return digest(run_spec(s1)); });
+  EXPECT_EQ(f1.get(), serial1);
+  EXPECT_EQ(f2.get(), serial_fleet);
+  EXPECT_EQ(f3.get(), serial_gen);
+  EXPECT_EQ(f4.get(), serial1);
+}
+
+}  // namespace
+}  // namespace sgprs::workload

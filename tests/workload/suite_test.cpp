@@ -110,6 +110,50 @@ TEST_F(SuiteTest, JsonReportParsesBackAndCarriesMetrics) {
   EXPECT_EQ(rows[0].at("tasks").as_int(), 2);
 }
 
+TEST_F(SuiteTest, ErrorRowsCarryTheFieldPathIntoCsvAndJson) {
+  // A semantic spec error has a precise field path; the machine-readable
+  // reports must carry it structurally, not just inside the human table.
+  write_spec("bad_field.json",
+             R"({ "tasks": [ { "network": "lenet5" }, { "fps": -5 } ] })");
+  const auto runs = run_suite(dir_.string());
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_FALSE(runs[0].ok);
+  EXPECT_EQ(runs[0].field_path, "spec.tasks[1].fps");
+
+  std::ostringstream csv;
+  write_suite_csv(runs, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_NE(header.find(",field_path,"), std::string::npos) << header;
+  std::string row;
+  std::getline(lines, row);
+  EXPECT_NE(row.find(",spec.tasks[1].fps,"), std::string::npos) << row;
+
+  std::ostringstream json;
+  write_suite_json(runs, json);
+  const auto doc = common::parse_json(json.str());
+  const auto& rows = doc.at("scenarios").items();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].at("ok").as_bool());
+  EXPECT_EQ(rows[0].at("field_path").as_string(), "spec.tasks[1].fps");
+  EXPECT_FALSE(rows[0].at("error").as_string().empty());
+}
+
+TEST_F(SuiteTest, ParseErrorsHaveNoFieldPathButStillReport) {
+  write_spec("unparseable.json", "{ not json");
+  const auto runs = run_suite(dir_.string());
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_FALSE(runs[0].ok);
+  EXPECT_TRUE(runs[0].field_path.empty()) << runs[0].field_path;
+
+  std::ostringstream json;
+  write_suite_json(runs, json);
+  const auto doc = common::parse_json(json.str());
+  // No empty/meaningless field_path member on a positional parse error.
+  EXPECT_EQ(doc.at("scenarios").items()[0].find("field_path"), nullptr);
+}
+
 TEST_F(SuiteTest, PrintSuiteListsFailuresBelowTable) {
   write_spec("a_good.json", kGood);
   write_spec("b_broken.json", "{ not json");

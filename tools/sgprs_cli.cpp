@@ -10,12 +10,16 @@
 //   sgprs_cli --devices=2080ti,3090 --placement=hash --tasks=24
 //   sgprs_cli --scenario=scenarios/paper_scenario1.json
 //   sgprs_cli --suite=scenarios --report=suite_report
+//   sgprs_cli --experiment=scenarios/experiments/dmr_vs_utilization.json \
+//             --jobs=4 --report=experiment_report
 #include <fstream>
 #include <iostream>
 
 #include "common/csv.hpp"
 #include "common/flags.hpp"
+#include "common/thread_pool.hpp"
 #include "metrics/report.hpp"
+#include "workload/experiment.hpp"
 #include "workload/scenario.hpp"
 #include "workload/suite.hpp"
 
@@ -89,6 +93,36 @@ int run_scenario_file(const std::string& path) {
   return 0;
 }
 
+/// --experiment=file.json: expand the grid x replications, run on a worker
+/// pool, print the per-cell CI table and write <report>.csv/.json.
+int run_experiment_file(const std::string& path, int jobs,
+                        const std::string& report) {
+  const auto spec = workload::load_experiment_spec(path);
+
+  // Open the report files before burning wall clock on the grid: an
+  // unwritable --report path must fail fast, not after the whole run.
+  const std::string csv_path = report + ".csv";
+  const std::string json_path = report + ".json";
+  std::ofstream csv(csv_path);
+  std::ofstream json(json_path);
+  if (!csv || !json) {
+    std::cerr << "cannot write " << (csv ? json_path : csv_path) << "\n";
+    return 1;
+  }
+
+  if (jobs <= 0) jobs = common::ThreadPool::hardware_threads();
+  const auto r = workload::run_experiment(spec, jobs);
+  workload::print_experiment(r, std::cout);
+  std::cout << "\n" << r.total_runs << " runs (" << r.total_failures
+            << " failed) on " << jobs << " job(s) in "
+            << metrics::Table::fmt(r.wall_seconds, 2) << " s\n";
+
+  workload::write_experiment_csv(r, csv);
+  workload::write_experiment_json(r, json);
+  std::cout << "wrote " << csv_path << " and " << json_path << "\n";
+  return r.total_failures == 0 ? 0 : 1;
+}
+
 /// --suite=dir: run every spec, print the comparison, write the report.
 int run_suite_dir(const std::string& dir, const std::string& report) {
   const auto runs = workload::run_suite(dir);
@@ -111,6 +145,13 @@ int run_suite_dir(const std::string& dir, const std::string& report) {
 int run(const common::FlagParser& flags) {
   if (flags.has("scenario")) {
     return run_scenario_file(flags.get("scenario"));
+  }
+  if (flags.has("experiment")) {
+    // Distinct default prefix: an experiment must never silently overwrite
+    // a suite_report.* pair from an earlier --suite run.
+    return run_experiment_file(flags.get("experiment"), flags.get_int("jobs"),
+                               flags.has("report") ? flags.get("report")
+                                                   : "experiment_report");
   }
   if (flags.has("suite")) {
     return run_suite_dir(flags.get("suite"), flags.get("report"));
@@ -273,9 +314,18 @@ int main(int argc, char** argv) {
                "report",
                "");
   flags.define("report",
-               "report file prefix for --suite (writes <prefix>.csv and "
-               "<prefix>.json)",
+               "report file prefix (writes <prefix>.csv and <prefix>.json; "
+               "default suite_report for --suite, experiment_report for "
+               "--experiment)",
                "suite_report");
+  flags.define("experiment",
+               "run a Monte-Carlo experiment spec (docs/experiments.md): "
+               "grid x seed replications with 95% CIs",
+               "");
+  flags.define("jobs",
+               "worker threads for --experiment (0 = all hardware threads; "
+               "results are byte-identical for any value)",
+               "0");
   flags.define("devices",
                "fleet: a device count (\"4\") or a comma list of device "
                "names (\"2080ti,3090\")",
