@@ -1,0 +1,93 @@
+// Frozen copy of the seed discrete-event engine (pre slab/free-list
+// rewrite), kept verbatim so bench_engine_micro can measure old vs new in
+// the same Release build and BENCH_engine.json can report an honest
+// speedup ratio rather than numbers from two different binaries/runs.
+//
+// Do not maintain this file: it is a measurement artifact, not a fallback.
+// Semantics (FIFO tie-break, lazy cancellation) match sim::Engine exactly;
+// only the data structures differ — std::function callbacks in an
+// unordered_map beside a lazily-cleaned priority_queue, i.e. two heap
+// allocations and two hash operations per event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace sgprs::bench {
+
+using common::SimTime;
+
+class BaselineEngine {
+ public:
+  using EventId = std::uint64_t;
+  using EventFn = std::function<void()>;
+  static constexpr EventId kInvalidEvent = 0;
+
+  BaselineEngine() = default;
+  BaselineEngine(const BaselineEngine&) = delete;
+  BaselineEngine& operator=(const BaselineEngine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime t, EventFn fn) {
+    SGPRS_CHECK(t >= now_);
+    SGPRS_CHECK(fn != nullptr);
+    const EventId id = next_id_++;
+    heap_.push(HeapEntry{t, next_seq_++, id});
+    pending_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId schedule_after(SimTime dt, EventFn fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return pending_.erase(id) > 0; }
+
+  bool step() {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      auto it = pending_.find(top.id);
+      if (it == pending_.end()) continue;  // cancelled
+      EventFn fn = std::move(it->second);
+      pending_.erase(it);
+      now_ = top.t;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct HeapEntry {
+    SimTime t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<EventId, EventFn> pending_;
+};
+
+}  // namespace sgprs::bench

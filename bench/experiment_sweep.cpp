@@ -8,8 +8,14 @@
 // replication is an independent single-threaded simulation, so on a >= 4
 // core machine 4 jobs should cut wall clock by >= 2x. Reports stay
 // byte-identical regardless of worker count (pinned by tests).
+//
+// Emits BENCH_experiment.json (schema: docs/benchmarks.md) so CI keeps a
+// wall-clock trajectory of the whole sweep alongside the engine
+// micro-benchmark. Pass a directory argument to redirect the report.
 #include <iostream>
+#include <string>
 
+#include "figure_common.hpp"
 #include "metrics/report.hpp"
 #include "workload/experiment.hpp"
 
@@ -55,8 +61,11 @@ workload::ExperimentSpec make_spec() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
   const auto spec = make_spec();
+  const int total_runs =
+      static_cast<int>(workload::cell_count(spec)) * spec.replications;
   std::cerr << "running " << workload::cell_count(spec) << " cells x "
             << spec.replications << " replications serially...\n";
   const auto serial = workload::run_experiment(spec, 1);
@@ -72,5 +81,20 @@ int main() {
             << " s serial vs " << metrics::Table::fmt(parallel.wall_seconds, 2)
             << " s on 4 jobs (speedup "
             << metrics::Table::fmt(speedup, 2) << "x)\n";
+
+  bench::BenchReport report("experiment");
+  report.add("total_runs", static_cast<double>(total_runs), "runs");
+  report.add("wall_serial", serial.wall_seconds, "sec");
+  report.add("wall_4jobs", parallel.wall_seconds, "sec");
+  report.add("parallel_speedup", speedup, "x");
+  report.add("runs_per_sec_serial",
+             serial.wall_seconds > 0.0 ? total_runs / serial.wall_seconds
+                                       : 0.0,
+             "runs/sec");
+  report.add("runs_per_sec_4jobs",
+             parallel.wall_seconds > 0.0 ? total_runs / parallel.wall_seconds
+                                         : 0.0,
+             "runs/sec");
+  report.write(out_dir);
   return 0;
 }

@@ -1,0 +1,145 @@
+// Flat d-ary (default 4-ary) min-heap over a contiguous vector.
+//
+// Replaces the node-based std::set EDF queues and the std::priority_queue +
+// lazy-map pair in the hot paths: one cache-friendly array, no per-element
+// allocation after the vector reaches its high-water capacity, and pop()
+// hands the minimum back by value instead of forcing a top()/pop() pair.
+// Arity 4 halves the tree depth of a binary heap, which cuts the cache
+// misses of the sift-down that dominates pop-heavy discrete-event loads;
+// sifts move a "hole" instead of swapping, so each element is written once.
+//
+// Ordering contract: Less must be a strict weak ordering and — everywhere
+// determinism matters — a strict *total* order (callers key by (deadline,
+// seq) or (time, seq) with a unique seq), so pop order is a pure function
+// of the inserted values, never of heap internals or arity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace sgprs::common {
+
+template <typename T, typename Less = std::less<T>, std::size_t Arity = 4>
+class MinHeap {
+  static_assert(Arity >= 2);
+
+ public:
+  MinHeap() = default;
+  explicit MinHeap(Less less) : less_{std::move(less)} {}
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  std::size_t capacity() const { return v_.capacity(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void clear() { v_.clear(); }
+
+  const T& top() const { return v_.front(); }
+
+  void push(T x) {
+    std::size_t i = v_.size();
+    v_.push_back(std::move(x));
+    // Hole sift-up: keep the new element in a register, shift parents down.
+    T item = std::move(v_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(item, v_[parent])) break;
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(item);
+  }
+
+  /// Removes and returns the minimum element.
+  T pop() {
+    T out = std::move(v_.front());
+    T item = std::move(v_.back());
+    v_.pop_back();
+    if (v_.empty()) return out;
+    // Hole sift-down from the root: pull the min child up into the hole
+    // until `item` (the former last leaf) fits.
+    const std::size_t n = v_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + Arity, n);
+      std::size_t min_c = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less_(v_[c], v_[min_c])) min_c = c;
+      }
+      if (!less_(v_[min_c], item)) break;
+      v_[i] = std::move(v_[min_c]);
+      i = min_c;
+    }
+    v_[i] = std::move(item);
+    return out;
+  }
+
+  /// Drops every element failing `keep` and restores the heap property in
+  /// O(n) — the engine's stale-entry compaction. Relative order of kept
+  /// elements is irrelevant: the subsequent heapify re-establishes it.
+  template <typename Keep>
+  void compact(const Keep& keep) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < v_.size(); ++r) {
+      if (keep(v_[r])) {
+        if (w != r) v_[w] = std::move(v_[r]);
+        ++w;
+      }
+    }
+    v_.resize(w);
+    heapify();
+  }
+
+  /// Moves every element of `src` in and leaves `src` empty (capacity
+  /// kept). Small batches sift in one by one; once a batch is a sizable
+  /// fraction of the heap, appending everything and re-heapifying in O(n)
+  /// is cheaper than k sift-ups — this is what makes burst scheduling
+  /// (every task's releases arming at once) near-O(1) per event.
+  void merge_from(std::vector<T>& src) {
+    if (src.size() <= 8 || src.size() < v_.size() / 8) {
+      for (T& x : src) push(std::move(x));
+    } else {
+      v_.insert(v_.end(), std::make_move_iterator(src.begin()),
+                std::make_move_iterator(src.end()));
+      heapify();
+    }
+    src.clear();
+  }
+
+ private:
+  /// Floyd heapify: sift down every internal node, deepest first. O(n).
+  void heapify() {
+    if (v_.size() < 2) return;
+    for (std::size_t i = (v_.size() - 2) / Arity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = v_.size();
+    T item = std::move(v_[i]);
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + Arity, n);
+      std::size_t min_c = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less_(v_[c], v_[min_c])) min_c = c;
+      }
+      if (!less_(v_[min_c], item)) break;
+      v_[i] = std::move(v_[min_c]);
+      i = min_c;
+    }
+    v_[i] = std::move(item);
+  }
+
+  std::vector<T> v_;
+  Less less_{};
+};
+
+}  // namespace sgprs::common

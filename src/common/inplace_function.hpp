@@ -1,0 +1,173 @@
+// Small-buffer callable: a move-only std::function replacement that never
+// heap-allocates.
+//
+// The discrete-event engine stores one callback per pending event; with
+// std::function every capture beyond the libstdc++ 16-byte SBO costs a
+// heap allocation per scheduled event — the dominant constant factor of a
+// simulation. InplaceFunction fixes the storage inline at compile time and
+// static_asserts that every callable actually fits, so outgrowing the
+// buffer is a compile error (raise Capacity), never a silent allocation.
+//
+// Differences from std::function, all deliberate:
+//  * move-only (event callbacks are consumed exactly once; copyability
+//    would force every capture to be copyable);
+//  * callables must be nothrow-move-constructible (moves happen during
+//    slab/vector growth, where an exception would lose events);
+//  * no target()/target_type() RTTI surface.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sgprs::common {
+
+template <typename Signature, std::size_t Capacity = 48,
+          std::size_t Align = alignof(std::max_align_t)>
+class InplaceFunction;  // undefined: only the R(Args...) partial below
+
+template <typename R, typename... Args, std::size_t Capacity,
+          std::size_t Align>
+class InplaceFunction<R(Args...), Capacity, Align> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys any current target and constructs `f` directly in the inline
+  /// buffer — lets containers fill a stored wrapper without a temporary
+  /// wrapper + relocate round trip (the event calendar's schedule path).
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable capture too large for InplaceFunction's inline "
+                  "buffer — raise Capacity at the alias that broke");
+    static_assert(alignof(Fn) <= Align,
+                  "callable over-aligned for InplaceFunction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceFunction callables must be nothrow-movable");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = vtable_for<Fn>();
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept : vt_(o.vt_) {
+    if (vt_) {
+      vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_) {
+        vt_->relocate(o.buf_, buf_);
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Invokes the target and destroys it in one vtable dispatch, leaving
+  /// the wrapper empty — the fire path of a one-shot event calendar, one
+  /// indirect call cheaper than operator() + destructor. If the target
+  /// throws, the wrapper stays engaged so its destructor still destroys
+  /// the target (invoke_destroy only destroys on normal return).
+  R call_and_reset(Args... args) {
+    if constexpr (std::is_void_v<R>) {
+      vt_->invoke_destroy(buf_, std::forward<Args>(args)...);
+      vt_ = nullptr;
+    } else {
+      R r = vt_->invoke_destroy(buf_, std::forward<Args>(args)...);
+      vt_ = nullptr;
+      return r;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) {
+    return !f;
+  }
+  friend bool operator!=(const InplaceFunction& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(const unsigned char*, Args&&...);
+    // Move-construct into `to`, then destroy the source ("destructive
+    // move"): the only move the engine ever needs, and one vtable slot
+    // cheaper than separate move + destroy on the hot path.
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char*);
+    R (*invoke_destroy)(unsigned char*, Args&&...);
+  };
+
+  template <typename Fn>
+  static const VTable* vtable_for() {
+    static constexpr VTable vt = {
+        [](const unsigned char* buf, Args&&... args) -> R {
+          // Events are logically mutable one-shot callables; const_cast
+          // mirrors std::function's const operator() over mutable targets.
+          return (*reinterpret_cast<Fn*>(const_cast<unsigned char*>(buf)))(
+              std::forward<Args>(args)...);
+        },
+        [](unsigned char* from, unsigned char* to) {
+          Fn* src = reinterpret_cast<Fn*>(from);
+          ::new (static_cast<void*>(to)) Fn(std::move(*src));
+          src->~Fn();
+        },
+        [](unsigned char* buf) { reinterpret_cast<Fn*>(buf)->~Fn(); },
+        [](unsigned char* buf, Args&&... args) -> R {
+          Fn* f = reinterpret_cast<Fn*>(buf);
+          if constexpr (std::is_void_v<R>) {
+            (*f)(std::forward<Args>(args)...);
+            f->~Fn();
+          } else {
+            R r = (*f)(std::forward<Args>(args)...);
+            f->~Fn();
+            return r;
+          }
+        },
+    };
+    return &vt;
+  }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(Align) mutable unsigned char buf_[Capacity];
+};
+
+}  // namespace sgprs::common

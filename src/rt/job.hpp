@@ -29,11 +29,27 @@ struct Job {
   /// Context the previous stage ran on (-1 before the first dispatch);
   /// used to count seamless partition switches.
   int last_ctx = -1;
+  /// Slot in the owning rt::JobPool (-1 when not pool-managed).
+  std::int32_t pool_slot = -1;
 
   /// Stable identifier for traces: task id in the high bits.
   std::uint64_t tag() const {
     return (static_cast<std::uint64_t>(task->id) << 32) |
            (static_cast<std::uint64_t>(index) & 0xffffffffu);
+  }
+
+  /// Back to the freshly-constructed state, except stage_deadlines keeps
+  /// its capacity — the point of pooling jobs instead of reallocating them.
+  void reset() {
+    task = nullptr;
+    index = 0;
+    release = SimTime{};
+    abs_deadline = SimTime{};
+    stage_deadlines.clear();
+    next_stage = 0;
+    predecessor_missed = false;
+    last_ctx = -1;
+    pool_slot = -1;
   }
 };
 

@@ -1,0 +1,81 @@
+// Slab/free-list pool of Jobs with stable addresses and O(1) retire.
+//
+// Schedulers used to keep jobs in a std::list: one node allocation per
+// released frame and a linear scan to erase on completion. The pool hands
+// out slots from fixed-size chunks instead — addresses stay stable across
+// growth (queued stages hold Job*), a LIFO free list recycles slots so a
+// retired job's stage_deadlines vector keeps its capacity for the next
+// release, and release() is index-based O(1). After the first few frames a
+// steady-state scheduler allocates nothing per job.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rt/job.hpp"
+
+namespace sgprs::rt {
+
+class JobPool {
+ public:
+  JobPool() = default;
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Hands out a reset job slot (recycled before new). The job's
+  /// `pool_slot` identifies it for release(); everything else is in the
+  /// default-constructed state, with vector capacity retained on reuse.
+  Job& acquire() {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(size_);
+      if (slot_index(slot).first == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Job[]>(kChunk));
+      }
+      ++size_;
+    }
+    Job& job = at(slot);
+    job.reset();
+    job.pool_slot = static_cast<std::int32_t>(slot);
+    ++live_;
+    return job;
+  }
+
+  /// Returns a job's slot to the free list. O(1); the Job memory is kept
+  /// (and its vectors' capacity with it) for reuse.
+  void release(Job& job) {
+    SGPRS_CHECK_MSG(job.pool_slot >= 0, "job is not from this pool");
+    free_.push_back(static_cast<std::uint32_t>(job.pool_slot));
+    job.pool_slot = -1;
+    --live_;
+  }
+
+  /// Jobs currently acquired.
+  std::size_t live() const { return live_; }
+  /// Slots ever created (the high-water mark of concurrent jobs).
+  std::size_t capacity() const { return size_; }
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+
+  static std::pair<std::size_t, std::size_t> slot_index(std::uint32_t slot) {
+    return {slot / kChunk, slot % kChunk};
+  }
+  Job& at(std::uint32_t slot) {
+    const auto [chunk, off] = slot_index(slot);
+    return chunks_[chunk][off];
+  }
+
+  std::vector<std::unique_ptr<Job[]>> chunks_;
+  std::vector<std::uint32_t> free_;  // LIFO: hottest slot first
+  std::size_t size_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sgprs::rt

@@ -50,14 +50,13 @@ void NaiveScheduler::release_job(const Task& task, SimTime now) {
     return;
   }
   ++in_flight_[task.id];
-  Job job;
+  Job& job = jobs_.acquire();
   job.task = &task;
   job.index = job_counter_++;
   job.release = now;
   job.abs_deadline = now + task.deadline;
-  jobs_.push_back(std::move(job));
   const int ctx_idx = task_ctx_[task.id];
-  contexts_[ctx_idx].fifo.push_back(&jobs_.back());
+  contexts_[ctx_idx].fifo.push_back(&job);
   try_dispatch(ctx_idx, now);
 }
 
@@ -89,12 +88,7 @@ void NaiveScheduler::try_dispatch(int ctx_idx, SimTime now) {
 void NaiveScheduler::on_job_complete(Job& job, int ctx_idx, SimTime now) {
   collector_.on_complete(job.task->id, job.release, job.abs_deadline, now);
   --in_flight_[job.task->id];
-  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
-    if (&*it == &job) {
-      jobs_.erase(it);
-      break;
-    }
-  }
+  jobs_.release(job);
   // The context frees only after the host round-trip (synchronize + frame
   // handling); the next job cannot be dispatched into that gap.
   if (cfg_.host_sync_gap > SimTime::zero()) {

@@ -12,12 +12,12 @@
 #pragma once
 
 #include <deque>
-#include <list>
 #include <string>
 #include <vector>
 
 #include "gpu/context_pool.hpp"
 #include "rt/job.hpp"
+#include "rt/job_pool.hpp"
 #include "rt/scheduler.hpp"
 
 namespace sgprs::rt {
@@ -41,7 +41,7 @@ class NaiveScheduler final : public Scheduler {
   void admit(const Task& task) override;
   void release_job(const Task& task, SimTime now) override;
   int jobs_in_flight() const override {
-    return static_cast<int>(jobs_.size());
+    return static_cast<int>(jobs_.live());
   }
   std::string name() const override { return "naive"; }
 
@@ -65,7 +65,7 @@ class NaiveScheduler final : public Scheduler {
   std::vector<CtxState> contexts_;
   std::vector<int> task_ctx_;    // task id -> pinned context index
   std::vector<int> in_flight_;   // per task id
-  std::list<Job> jobs_;
+  JobPool jobs_;                 // stable addresses; O(1) retire
   int rr_next_ = 0;
   std::int64_t job_counter_ = 0;
 };

@@ -47,19 +47,16 @@ void SgprsScheduler::release_job(const Task& task, SimTime now) {
     return;
   }
   ++in_flight_[task.id];
-  Job job;
+  Job& job = jobs_.acquire();
   job.task = &task;
-  job.index = 0;  // filled below from a per-task counter in stage_deadlines
+  job.index = static_cast<std::int64_t>(next_seq_);
   job.release = now;
   job.abs_deadline = now + task.deadline;
   job.stage_deadlines.reserve(task.stage_count());
   for (const auto& st : task.stages) {
     job.stage_deadlines.push_back(now + st.virtual_deadline_offset);
   }
-  jobs_.push_back(std::move(job));
-  Job& j = jobs_.back();
-  j.index = static_cast<std::int64_t>(next_seq_);
-  release_stage(j, now);
+  release_stage(job, now);
 }
 
 StagePriority SgprsScheduler::effective_priority(const Job& job,
@@ -204,9 +201,9 @@ void SgprsScheduler::release_stage(Job& job, SimTime now) {
   const StagePriority prio = effective_priority(job, stage);
   if (prio == StagePriority::kMedium) ++promotions_;
   switch (prio) {
-    case StagePriority::kHigh: cs.high.insert(qs); break;
-    case StagePriority::kMedium: cs.medium.insert(qs); break;
-    case StagePriority::kLow: cs.low.insert(qs); break;
+    case StagePriority::kHigh: cs.high.push(qs); break;
+    case StagePriority::kMedium: cs.medium.push(qs); break;
+    case StagePriority::kLow: cs.low.push(qs); break;
   }
   cs.queued_work_sec += stage_wcet_sec(job, stage, cs.sm_limit);
   try_dispatch(ctx_idx, now);
@@ -217,7 +214,7 @@ void SgprsScheduler::try_dispatch(int ctx_idx, SimTime now) {
   // High streams serve the high queue (optionally stealing medium/low).
   for (auto& slot : cs.high_slots) {
     if (slot.busy) continue;
-    std::set<QueuedStage>* src = nullptr;
+    StageQueue* src = nullptr;
     if (!cs.high.empty()) {
       src = &cs.high;
     } else if (cfg_.high_streams_steal) {
@@ -228,23 +225,19 @@ void SgprsScheduler::try_dispatch(int ctx_idx, SimTime now) {
       }
     }
     if (!src) break;
-    QueuedStage qs = *src->begin();
-    src->erase(src->begin());
-    dispatch(cs, slot, qs, now);
+    dispatch(cs, slot, src->pop(), now);
   }
   // Low streams serve medium first, then low (EDF inside each level).
   for (auto& slot : cs.low_slots) {
     if (slot.busy) continue;
-    std::set<QueuedStage>* src = nullptr;
+    StageQueue* src = nullptr;
     if (!cs.medium.empty()) {
       src = &cs.medium;
     } else if (!cs.low.empty()) {
       src = &cs.low;
     }
     if (!src) break;
-    QueuedStage qs = *src->begin();
-    src->erase(src->begin());
-    dispatch(cs, slot, qs, now);
+    dispatch(cs, slot, src->pop(), now);
   }
 }
 
@@ -298,16 +291,7 @@ void SgprsScheduler::on_stage_complete(Job& job, int stage, int ctx_idx,
   try_dispatch(ctx_idx, now);
 }
 
-void SgprsScheduler::retire_job(Job& job) {
-  // Erase the job (stable addresses in the list; near-FIFO completion
-  // keeps this scan short).
-  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
-    if (&*it == &job) {
-      jobs_.erase(it);
-      break;
-    }
-  }
-}
+void SgprsScheduler::retire_job(Job& job) { jobs_.release(job); }
 
 std::size_t SgprsScheduler::queued_stages(int ctx) const {
   SGPRS_CHECK(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));

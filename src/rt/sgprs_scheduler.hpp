@@ -17,14 +17,14 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "common/heap.hpp"
 #include "common/rng.hpp"
 #include "gpu/context_pool.hpp"
 #include "rt/job.hpp"
+#include "rt/job_pool.hpp"
 #include "rt/scheduler.hpp"
 
 namespace sgprs::rt {
@@ -69,7 +69,7 @@ class SgprsScheduler final : public Scheduler {
 
   void admit(const Task& task) override;
   void release_job(const Task& task, SimTime now) override;
-  int jobs_in_flight() const override { return static_cast<int>(jobs_.size()); }
+  int jobs_in_flight() const override { return static_cast<int>(jobs_.live()); }
   std::string name() const override { return "sgprs"; }
 
   // Introspection for tests.
@@ -89,6 +89,10 @@ class SgprsScheduler final : public Scheduler {
       return a.seq < b.seq;  // FIFO among equal deadlines
     }
   };
+  /// Flat binary-heap EDF queue on (deadline, seq) — a strict total order
+  /// (seq is unique), so pop order matches the old std::set exactly while
+  /// insert/pop stay allocation-free at steady state.
+  using StageQueue = common::MinHeap<QueuedStage>;
 
   struct Slot {
     gpu::StreamId stream;
@@ -99,9 +103,9 @@ class SgprsScheduler final : public Scheduler {
   struct CtxState {
     gpu::ContextId ctx;
     int sm_limit = 0;
-    std::set<QueuedStage> high;
-    std::set<QueuedStage> medium;
-    std::set<QueuedStage> low;
+    StageQueue high;
+    StageQueue medium;
+    StageQueue low;
     std::vector<Slot> high_slots;
     std::vector<Slot> low_slots;
     double queued_work_sec = 0.0;  // WCET sum of queued (undispatched) stages
@@ -129,7 +133,7 @@ class SgprsScheduler final : public Scheduler {
   metrics::Collector& collector_;
   SgprsConfig cfg_;
   std::vector<CtxState> contexts_;
-  std::list<Job> jobs_;  // stable addresses; erased on completion
+  JobPool jobs_;  // stable addresses; O(1) retire, slots recycled
   std::vector<int> in_flight_;  // per task id
   std::uint64_t next_seq_ = 0;
   mutable common::Rng rng_;

@@ -330,10 +330,18 @@ struct RunOutcome {
   std::string error;
 };
 
-RunOutcome run_one(const ExperimentSpec& spec, std::size_t cell, int rep) {
+/// One (cell, replication) job against the cell's shared immutable spec.
+/// Replications differ only in their derived seeds, so the spec is built
+/// once per cell (not once per job) and every worker reads it concurrently
+/// through the seeded run_spec overload — no ScenarioSpec copies on the
+/// job path.
+RunOutcome run_one(const ExperimentSpec& spec, const ScenarioSpec& cell_spec,
+                   std::size_t cell, int rep) {
   RunOutcome o;
   try {
-    const SpecResult r = run_spec(scenario_for(spec, cell, rep));
+    const RunSeeds seeds{experiment_seed(spec.base_seed, cell, rep, 0),
+                         experiment_seed(spec.base_seed, cell, rep, 1)};
+    const SpecResult r = run_spec(cell_spec, seeds);
     const metrics::Snapshot& a = r.aggregate();
     o.ok = true;
     o.dmr = a.dmr;
@@ -353,6 +361,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
   validate(spec);
 
   const std::size_t cells = cell_count(spec);
+  // One lowered spec per grid cell, shared read-only by every replication
+  // job. Seeds inside use replication 0; the per-job RunSeeds override is
+  // the only thing that varies, so this is equivalent to (and replaces)
+  // building scenario_for(spec, cell, rep) fresh for each job.
+  std::vector<ScenarioSpec> cell_specs;
+  cell_specs.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_specs.push_back(scenario_for(spec, c, 0));
+  }
+
   struct Job {
     std::size_t cell;
     int rep;
@@ -367,15 +385,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
   std::vector<RunOutcome> outcomes(plan.size());
   if (jobs <= 1) {
     for (std::size_t i = 0; i < plan.size(); ++i) {
-      outcomes[i] = run_one(spec, plan[i].cell, plan[i].rep);
+      outcomes[i] =
+          run_one(spec, cell_specs[plan[i].cell], plan[i].cell, plan[i].rep);
     }
   } else {
     common::ThreadPool pool(jobs);
     std::vector<std::future<RunOutcome>> futures;
     futures.reserve(plan.size());
     for (const Job& j : plan) {
-      futures.push_back(
-          pool.submit([&spec, j] { return run_one(spec, j.cell, j.rep); }));
+      futures.push_back(pool.submit([&spec, &cell_specs, j] {
+        return run_one(spec, cell_specs[j.cell], j.cell, j.rep);
+      }));
     }
     // Collection in submission order + serial reduction below is what makes
     // reports byte-identical for any worker count.

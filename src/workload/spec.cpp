@@ -375,83 +375,91 @@ ScenarioConfig lower(const ScenarioSpec& spec) {
   return cfg;
 }
 
-TaskSetBuilder task_builder_for(const ScenarioSpec& spec) {
-  return [spec](const ScenarioConfig& cfg,
-                const std::vector<int>& pool_sizes) {
-    dnn::Profiler profiler(cfg.device, gpu::SpeedupModel::rtx2080ti(),
-                           dnn::CostModel::calibrated());
+namespace {
 
-    if (spec.generator) {
-      const auto& g = *spec.generator;
-      RandomTaskSetConfig rcfg;
-      rcfg.count = g.count;
-      rcfg.total_utilization = g.total_utilization;
-      rcfg.num_stages = g.num_stages;
-      rcfg.min_fps = g.min_fps;
-      rcfg.max_fps = g.max_fps;
-      rcfg.seed = g.seed;
-      for (const auto& name : g.networks) {
-        rcfg.network_choices.push_back(dnn::network_builder_by_name(name));
-      }
-      return build_random_taskset(rcfg, profiler, pool_sizes);
-    }
+/// The general task-building path behind task_builder_for / run_spec.
+/// `generator_seed` substitutes for spec.generator->seed so replication
+/// runs can re-seed without cloning the spec.
+std::vector<rt::Task> build_spec_tasks(const ScenarioSpec& spec,
+                                       std::uint64_t generator_seed,
+                                       const ScenarioConfig& cfg,
+                                       const std::vector<int>& pool_sizes) {
+  dnn::Profiler profiler(cfg.device, gpu::SpeedupModel::rtx2080ti(),
+                         dnn::CostModel::calibrated());
 
-    // Explicit entries: build each network once, clone per replica, draw
-    // phases from one seeded rng in task order (mirrors the identical-task
-    // builder's consumption pattern).
-    common::Rng rng(cfg.seed);
-    std::map<std::string, std::shared_ptr<const dnn::Network>> networks;
-    std::vector<rt::Task> tasks;
-    int id = 0;
-    for (const auto& e : spec.tasks) {
-      auto it = networks.find(e.network);
-      if (it == networks.end()) {
-        it = networks
-                 .emplace(e.network,
-                          std::make_shared<const dnn::Network>(
-                              dnn::network_builder_by_name(e.network)()))
-                 .first;
-      }
-      const double min_sep_ms = e.min_separation_ms > 0.0
-                                    ? e.min_separation_ms
-                                    : 1000.0 / e.fps;
-      rt::TaskConfig tc;
-      // Sporadic tasks are built at their worst-case rate so period ==
-      // min_separation and utilization/admission math stays conservative.
-      tc.fps = e.arrival == rt::ArrivalModel::kSporadic ? 1000.0 / min_sep_ms
-                                                        : e.fps;
-      tc.num_stages = e.num_stages;
-      tc.priority_policy = e.priority_policy;
-      if (e.deadline_ms > 0.0) {
-        tc.deadline = common::SimTime::from_ms(e.deadline_ms);
-      }
-      for (int i = 0; i < e.count; ++i) {
-        rt::Task t = rt::build_task(id, it->second, tc, profiler, pool_sizes);
-        t.name = e.name + std::to_string(id);
-        if (e.phase_ms >= 0.0) {
-          t.phase = common::SimTime::from_ms(e.phase_ms);
-        } else if (cfg.jitter_phases) {
-          t.phase =
-              common::SimTime::from_sec(rng.next_double() * t.period.to_sec());
-        }
-        if (e.arrival == rt::ArrivalModel::kSporadic) {
-          t.arrival = rt::ArrivalModel::kSporadic;
-          t.min_separation = common::SimTime::from_ms(min_sep_ms);
-          t.max_separation = common::SimTime::from_ms(
-              e.max_separation_ms > 0.0 ? e.max_separation_ms
-                                        : 1.5 * min_sep_ms);
-        }
-        tasks.push_back(std::move(t));
-        ++id;
-      }
+  if (spec.generator) {
+    const auto& g = *spec.generator;
+    RandomTaskSetConfig rcfg;
+    rcfg.count = g.count;
+    rcfg.total_utilization = g.total_utilization;
+    rcfg.num_stages = g.num_stages;
+    rcfg.min_fps = g.min_fps;
+    rcfg.max_fps = g.max_fps;
+    rcfg.seed = generator_seed;
+    for (const auto& name : g.networks) {
+      rcfg.network_choices.push_back(dnn::network_builder_by_name(name));
     }
-    return tasks;
-  };
+    return build_random_taskset(rcfg, profiler, pool_sizes);
+  }
+
+  // Explicit entries: build each network once, clone per replica, draw
+  // phases from one seeded rng in task order (mirrors the identical-task
+  // builder's consumption pattern).
+  common::Rng rng(cfg.seed);
+  std::map<std::string, std::shared_ptr<const dnn::Network>> networks;
+  std::vector<rt::Task> tasks;
+  int id = 0;
+  for (const auto& e : spec.tasks) {
+    auto it = networks.find(e.network);
+    if (it == networks.end()) {
+      it = networks
+               .emplace(e.network,
+                        std::make_shared<const dnn::Network>(
+                            dnn::network_builder_by_name(e.network)()))
+               .first;
+    }
+    const double min_sep_ms = e.min_separation_ms > 0.0
+                                  ? e.min_separation_ms
+                                  : 1000.0 / e.fps;
+    rt::TaskConfig tc;
+    // Sporadic tasks are built at their worst-case rate so period ==
+    // min_separation and utilization/admission math stays conservative.
+    tc.fps = e.arrival == rt::ArrivalModel::kSporadic ? 1000.0 / min_sep_ms
+                                                      : e.fps;
+    tc.num_stages = e.num_stages;
+    tc.priority_policy = e.priority_policy;
+    if (e.deadline_ms > 0.0) {
+      tc.deadline = common::SimTime::from_ms(e.deadline_ms);
+    }
+    for (int i = 0; i < e.count; ++i) {
+      rt::Task t = rt::build_task(id, it->second, tc, profiler, pool_sizes);
+      t.name = e.name + std::to_string(id);
+      if (e.phase_ms >= 0.0) {
+        t.phase = common::SimTime::from_ms(e.phase_ms);
+      } else if (cfg.jitter_phases) {
+        t.phase =
+            common::SimTime::from_sec(rng.next_double() * t.period.to_sec());
+      }
+      if (e.arrival == rt::ArrivalModel::kSporadic) {
+        t.arrival = rt::ArrivalModel::kSporadic;
+        t.min_separation = common::SimTime::from_ms(min_sep_ms);
+        t.max_separation = common::SimTime::from_ms(
+            e.max_separation_ms > 0.0 ? e.max_separation_ms
+                                      : 1.5 * min_sep_ms);
+      }
+      tasks.push_back(std::move(t));
+      ++id;
+    }
+  }
+  return tasks;
 }
 
-SpecResult run_spec(const ScenarioSpec& spec) {
-  validate(spec);
-  const ScenarioConfig cfg = lower(spec);
+/// Shared run path. The builder captures `spec` by reference — safe
+/// because it is only invoked synchronously inside the run_* call below.
+SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
+                         std::uint64_t generator_seed) {
+  ScenarioConfig cfg = lower(spec);
+  cfg.seed = sim_seed;
 
   SpecResult result;
   result.name = spec.name;
@@ -460,13 +468,40 @@ SpecResult run_spec(const ScenarioSpec& spec) {
   // exact code path of the hard-coded benches, so results are
   // bit-identical (pinned by spec_test).
   const TaskSetBuilder builder =
-      is_simple_spec(spec) ? TaskSetBuilder{} : task_builder_for(spec);
+      is_simple_spec(spec)
+          ? TaskSetBuilder{}
+          : TaskSetBuilder{[&spec, generator_seed](
+                               const ScenarioConfig& c,
+                               const std::vector<int>& pool_sizes) {
+              return build_spec_tasks(spec, generator_seed, c, pool_sizes);
+            }};
   if (spec.fleet_mode) {
     result.cluster = run_cluster_scenario(cfg, builder);
   } else {
     result.single = run_scenario(cfg, builder);
   }
   return result;
+}
+
+}  // namespace
+
+TaskSetBuilder task_builder_for(const ScenarioSpec& spec) {
+  const std::uint64_t generator_seed =
+      spec.generator ? spec.generator->seed : 0;
+  return [spec, generator_seed](const ScenarioConfig& cfg,
+                                const std::vector<int>& pool_sizes) {
+    return build_spec_tasks(spec, generator_seed, cfg, pool_sizes);
+  };
+}
+
+SpecResult run_spec(const ScenarioSpec& spec) {
+  validate(spec);
+  return run_spec_impl(spec, spec.base.seed,
+                       spec.generator ? spec.generator->seed : 0);
+}
+
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds) {
+  return run_spec_impl(spec, seeds.sim, seeds.generator);
 }
 
 }  // namespace sgprs::workload

@@ -117,7 +117,8 @@ bool is_simple_spec(const ScenarioSpec& spec);
 ScenarioConfig lower(const ScenarioSpec& spec);
 
 /// Task-set builder implementing the general (heterogeneous / sporadic /
-/// generated) path; exposed for tests and custom harnesses.
+/// generated) path; exposed for tests and custom harnesses. The returned
+/// builder owns a copy of the spec, so it outlives the argument.
 TaskSetBuilder task_builder_for(const ScenarioSpec& spec);
 
 /// Result of running one spec: exactly one of the two run paths was taken.
@@ -142,5 +143,20 @@ struct SpecResult {
 
 /// Validates and runs one spec end to end.
 SpecResult run_spec(const ScenarioSpec& spec);
+
+/// Per-run seed overrides, replacing spec.base.seed and (when a generator
+/// section exists) spec.generator->seed without touching the spec itself.
+struct RunSeeds {
+  std::uint64_t sim = 0;
+  std::uint64_t generator = 0;
+};
+
+/// Runs one *already validated* spec with the given seeds. This is the
+/// Monte-Carlo hot path: the experiment engine validates every grid cell
+/// once up front, then fires (cells x replications) jobs through here
+/// against a shared immutable per-cell spec — no ScenarioSpec copy and no
+/// re-validation per job. Seeds are the only thing that varies between
+/// replications of a cell.
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds);
 
 }  // namespace sgprs::workload

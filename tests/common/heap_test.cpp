@@ -1,0 +1,121 @@
+#include "common/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sgprs::common {
+namespace {
+
+TEST(MinHeap, PopsInAscendingOrder) {
+  MinHeap<int> h;
+  for (int v : {5, 1, 4, 2, 3}) h.push(v);
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.pop());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(MinHeap, TopIsMinimumWithoutRemoval) {
+  MinHeap<int> h;
+  h.push(9);
+  h.push(3);
+  h.push(7);
+  EXPECT_EQ(h.top(), 3);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(MinHeap, RandomizedMatchesSortedOrder) {
+  common::Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    MinHeap<std::int64_t> h;
+    std::vector<std::int64_t> vals;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 500));
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t v = rng.uniform_int(0, 50);  // many duplicates
+      vals.push_back(v);
+      h.push(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (std::int64_t v : vals) EXPECT_EQ(h.pop(), v);
+    EXPECT_TRUE(h.empty());
+  }
+}
+
+TEST(MinHeap, InterleavedPushPopKeepsInvariant) {
+  common::Rng rng(13);
+  MinHeap<int> h;
+  std::vector<int> mirror;
+  for (int op = 0; op < 5000; ++op) {
+    if (mirror.empty() || rng.next_double() < 0.6) {
+      const int v = static_cast<int>(rng.uniform_int(0, 1000));
+      h.push(v);
+      mirror.push_back(v);
+    } else {
+      const int got = h.pop();
+      auto it = std::min_element(mirror.begin(), mirror.end());
+      EXPECT_EQ(got, *it);
+      mirror.erase(it);
+    }
+  }
+}
+
+TEST(MinHeap, TotalOrderGivesDeterministicTieBreak) {
+  // (key, seq) pairs with duplicate keys: pop order must follow seq, the
+  // invariant the EDF queues and the event calendar rely on.
+  using P = std::pair<int, int>;
+  MinHeap<P> h;
+  h.push({1, 3});
+  h.push({0, 2});
+  h.push({1, 1});
+  h.push({0, 4});
+  std::vector<P> out;
+  while (!h.empty()) out.push_back(h.pop());
+  EXPECT_EQ(out, (std::vector<P>{{0, 2}, {0, 4}, {1, 1}, {1, 3}}));
+}
+
+TEST(MinHeap, CompactDropsFilteredElements) {
+  MinHeap<int> h;
+  for (int i = 0; i < 100; ++i) h.push(i);
+  h.compact([](int v) { return v % 2 == 0; });
+  EXPECT_EQ(h.size(), 50u);
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.pop());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(MinHeap, MergeFromSmallAndLargeBatches) {
+  common::Rng rng(99);
+  MinHeap<int> h;
+  std::vector<int> mirror;
+  // Alternate tiny batches (sift-in path) and big batches (heapify path).
+  for (int round = 0; round < 10; ++round) {
+    const int batch = round % 2 == 0 ? 3 : 400;
+    std::vector<int> src;
+    for (int i = 0; i < batch; ++i) {
+      const int v = static_cast<int>(rng.uniform_int(0, 10000));
+      src.push_back(v);
+      mirror.push_back(v);
+    }
+    h.merge_from(src);
+    EXPECT_TRUE(src.empty());
+    // Drain a few to interleave pops between merges.
+    for (int i = 0; i < 5 && !h.empty(); ++i) {
+      const int got = h.pop();
+      auto it = std::min_element(mirror.begin(), mirror.end());
+      EXPECT_EQ(got, *it);
+      mirror.erase(it);
+    }
+  }
+  std::sort(mirror.begin(), mirror.end());
+  for (int v : mirror) EXPECT_EQ(h.pop(), v);
+}
+
+}  // namespace
+}  // namespace sgprs::common

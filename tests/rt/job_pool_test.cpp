@@ -1,0 +1,72 @@
+#include "rt/job_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgprs::rt {
+namespace {
+
+using common::SimTime;
+
+TEST(JobPool, AcquireHandsOutResetJobs) {
+  JobPool pool;
+  Job& a = pool.acquire();
+  EXPECT_EQ(a.task, nullptr);
+  EXPECT_EQ(a.next_stage, 0);
+  EXPECT_GE(a.pool_slot, 0);
+  EXPECT_EQ(pool.live(), 1u);
+  a.next_stage = 3;
+  a.stage_deadlines.assign(6, SimTime::from_ms(1));
+  pool.release(a);
+  EXPECT_EQ(pool.live(), 0u);
+
+  // The recycled slot must come back fully reset...
+  Job& b = pool.acquire();
+  EXPECT_EQ(&b, &a);  // LIFO reuse of the same storage
+  EXPECT_EQ(b.next_stage, 0);
+  EXPECT_TRUE(b.stage_deadlines.empty());
+  // ... but with its vector capacity retained (the allocation-free point).
+  EXPECT_GE(b.stage_deadlines.capacity(), 6u);
+}
+
+TEST(JobPool, AddressesStableAcrossGrowth) {
+  JobPool pool;
+  std::vector<Job*> ptrs;
+  // Cross several chunk boundaries (chunk = 64).
+  for (int i = 0; i < 500; ++i) {
+    Job& j = pool.acquire();
+    j.index = i;
+    ptrs.push_back(&j);
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(ptrs[i]->index, i);  // no reallocation moved anything
+  }
+  EXPECT_EQ(pool.live(), 500u);
+  EXPECT_EQ(pool.capacity(), 500u);
+  for (Job* j : ptrs) pool.release(*j);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(JobPool, CapacityTracksHighWaterMarkNotThroughput) {
+  JobPool pool;
+  for (int round = 0; round < 1000; ++round) {
+    Job& a = pool.acquire();
+    Job& b = pool.acquire();
+    pool.release(a);
+    pool.release(b);
+  }
+  EXPECT_EQ(pool.capacity(), 2u);  // 2000 jobs cycled through 2 slots
+}
+
+TEST(JobPool, ReleaseClearsPoolSlot) {
+  JobPool pool;
+  Job& a = pool.acquire();
+  pool.release(a);
+  EXPECT_EQ(a.pool_slot, -1);
+}
+
+}  // namespace
+}  // namespace sgprs::rt

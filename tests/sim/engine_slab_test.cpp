@@ -1,0 +1,211 @@
+// Internals of the slab/free-list event calendar: generation-tag safety
+// when slots are recycled, bounded slab growth under churn, and a
+// randomized differential test against a trivially-correct reference
+// calendar. tests/sim/engine_test.cpp pins the public semantics; this file
+// pins the properties the rewrite introduced.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sgprs::sim {
+namespace {
+
+using common::SimTime;
+
+TEST(EngineSlab, CancelledSlotReuseDoesNotFireOldCallback) {
+  Engine e;
+  bool old_fired = false;
+  bool new_fired = false;
+  const EventId a = e.schedule_at(SimTime::from_ms(1), [&] {
+    old_fired = true;
+  });
+  ASSERT_TRUE(e.cancel(a));
+  // The freed slot is recycled immediately (LIFO free list); the new event
+  // must get a fresh identity.
+  const EventId b = e.schedule_at(SimTime::from_ms(2), [&] {
+    new_fired = true;
+  });
+  EXPECT_NE(a, b);
+  // The stale id must not cancel (or otherwise affect) the new occupant.
+  EXPECT_FALSE(e.cancel(a));
+  e.run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(EngineSlab, StaleIdAfterFireCannotCancelNewOccupant) {
+  Engine e;
+  int fired = 0;
+  const EventId a = e.schedule_at(SimTime::from_ms(1), [&] { ++fired; });
+  EXPECT_TRUE(e.step());  // fires a, releases its slot
+  const EventId b = e.schedule_at(SimTime::from_ms(2), [&] { ++fired; });
+  EXPECT_FALSE(e.cancel(a));  // stale: slot recycled under a new generation
+  EXPECT_TRUE(e.cancel(b));
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineSlab, RepeatedRecycleKeepsGenerationsDistinct) {
+  Engine e;
+  // Hammer one logical slot: schedule+cancel reuses the same storage every
+  // iteration; every id must be unique and every stale cancel rejected.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = e.schedule_at(SimTime::from_ms(1), [] {});
+    ASSERT_TRUE(e.cancel(id));
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_NE(ids[i], ids[i + 1]);
+    EXPECT_FALSE(e.cancel(ids[i]));
+  }
+  EXPECT_EQ(e.slab_size(), 1u);  // one slot, recycled 1000 times
+}
+
+TEST(EngineSlab, SlabGrowsToHighWaterMarkNotEventCount) {
+  Engine e;
+  std::size_t fired = 0;
+  // 100 waves of 50 outstanding events each: 5000 events total but never
+  // more than 50 pending, so the slab must stay at 50 slots.
+  for (int wave = 0; wave < 100; ++wave) {
+    const SimTime base = e.now();
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(base + SimTime::from_us(i + 1), [&] { ++fired; });
+    }
+    e.run();
+  }
+  EXPECT_EQ(fired, 5000u);
+  EXPECT_EQ(e.slab_size(), 50u);
+}
+
+TEST(EngineSlab, CancelStormCompactsCalendar) {
+  Engine e;
+  // Keep one live event while cancelling thousands: compaction must keep
+  // the raw calendar bounded by a multiple of the live count, not by the
+  // cancellation count.
+  e.schedule_at(SimTime::from_sec(10.0), [] {});
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id =
+        e.schedule_at(SimTime::from_ms(1 + (i % 7)), [] { FAIL(); });
+    ASSERT_TRUE(e.cancel(id));
+  }
+  EXPECT_EQ(e.pending_count(), 1u);
+  EXPECT_LT(e.heap_size(), 256u);
+  e.run();
+  EXPECT_EQ(e.processed_count(), 1u);
+}
+
+/// Reference calendar: a std::multimap keyed on (time, schedule order) —
+/// obviously correct FIFO-within-instant semantics, no lazy deletion.
+class ReferenceCalendar {
+ public:
+  std::uint64_t schedule(SimTime t, std::uint64_t seq) {
+    pending_.emplace(std::make_pair(t.ns, seq), seq);
+    return seq;
+  }
+  bool cancel(std::uint64_t id) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second == id) {
+        pending_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool empty() const { return pending_.empty(); }
+  /// Pops the earliest event, returning its label.
+  std::uint64_t pop() {
+    auto it = pending_.begin();
+    const std::uint64_t label = it->second;
+    now_ = SimTime::from_ns(it->first.first);
+    pending_.erase(it);
+    return label;
+  }
+  SimTime now() const { return now_; }
+
+ private:
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, std::uint64_t>
+      pending_;
+  SimTime now_;
+};
+
+TEST(EngineSlab, RandomizedDifferentialAgainstReferenceModel) {
+  // Drive Engine and the reference with an identical random op sequence
+  // (schedule at random future times incl. duplicates, cancel random live
+  // ids, step); the observed fire order must match event for event.
+  common::Rng rng(20260726);
+  Engine e;
+  ReferenceCalendar ref;
+
+  std::vector<std::uint64_t> fired_engine;
+  std::vector<std::uint64_t> fired_ref;
+  // label -> engine id for live events, for cancel targeting.
+  std::vector<std::pair<std::uint64_t, EventId>> live;
+  std::uint64_t next_label = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    const double dice = rng.next_double();
+    if (dice < 0.55) {
+      // Coarse time grid on purpose: plenty of equal-time collisions to
+      // exercise the FIFO tie-break.
+      const SimTime t =
+          e.now() + SimTime::from_us(static_cast<double>(
+                        rng.uniform_int(0, 40)));
+      const std::uint64_t label = next_label++;
+      const EventId id = e.schedule_at(t, [&fired_engine, label] {
+        fired_engine.push_back(label);
+      });
+      ref.schedule(t, label);
+      live.push_back({label, id});
+    } else if (dice < 0.75 && !live.empty()) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const auto [label, id] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_TRUE(e.cancel(id));
+      EXPECT_TRUE(ref.cancel(label));
+    } else if (!ref.empty()) {
+      EXPECT_TRUE(e.step());
+      fired_ref.push_back(ref.pop());
+      ASSERT_EQ(fired_engine.size(), fired_ref.size());
+      ASSERT_EQ(fired_engine.back(), fired_ref.back());
+      EXPECT_EQ(e.now(), ref.now());
+      // The fired event is no longer cancellable; drop it from `live`.
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->first == fired_engine.back()) {
+          live.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  while (!ref.empty()) {
+    ASSERT_TRUE(e.step());
+    fired_ref.push_back(ref.pop());
+    ASSERT_EQ(fired_engine.back(), fired_ref.back());
+  }
+  EXPECT_FALSE(e.step());
+  EXPECT_EQ(fired_engine, fired_ref);
+  EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(EngineSlab, CountersTrackScheduleFireCancel) {
+  Engine e;
+  const EventId a = e.schedule_at(SimTime::from_ms(1), [] {});
+  e.schedule_at(SimTime::from_ms(2), [] {});
+  e.cancel(a);
+  e.run();
+  EXPECT_EQ(e.scheduled_count(), 2u);
+  EXPECT_EQ(e.cancelled_count(), 1u);
+  EXPECT_EQ(e.processed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sgprs::sim
