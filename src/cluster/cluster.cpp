@@ -7,52 +7,92 @@
 
 namespace sgprs::cluster {
 
+std::vector<int> pool_sm_sizes_for(const gpu::DeviceSpec& spec,
+                                   const gpu::ContextPoolConfig& pool,
+                                   const gpu::SharingParams& sharing) {
+  // A scratch engine/executor/pool answers exactly what a real device of
+  // this spec would expose — no duplicated sizing arithmetic to drift.
+  sim::Engine scratch;
+  gpu::Executor exec(scratch, spec, gpu::SpeedupModel::rtx2080ti(), sharing);
+  gpu::ContextPool p(exec, pool);
+  std::vector<int> sizes;
+  for (const auto& pc : p.contexts()) {
+    if (std::find(sizes.begin(), sizes.end(), pc.sm_limit) == sizes.end()) {
+      sizes.push_back(pc.sm_limit);
+    }
+  }
+  return sizes;
+}
+
 Cluster::Cluster(sim::Engine& engine, metrics::Collector& collector,
                  const ClusterConfig& cfg)
     : engine_(engine), collector_(collector), cfg_(cfg) {
   SGPRS_CHECK_MSG(!cfg_.devices.empty(), "cluster needs at least one device");
 
-  const int streams_per_context =
-      cfg_.pool.high_streams_per_context + cfg_.pool.low_streams_per_context;
   std::vector<PlacerDevice> placer_devices;
-  devices_.reserve(cfg_.devices.size());
   for (const auto& spec : cfg_.devices) {
-    Device dev;
-    dev.spec = spec;
-    dev.exec = std::make_unique<gpu::Executor>(
-        engine_, spec, gpu::SpeedupModel::rtx2080ti(), cfg_.sharing);
-    dev.pool = std::make_unique<gpu::ContextPool>(*dev.exec, cfg_.pool);
-    switch (cfg_.scheduler) {
-      case rt::SchedulerKind::kSgprs:
-        dev.scheduler = std::make_unique<rt::SgprsScheduler>(
-            *dev.exec, *dev.pool, collector_, cfg_.sgprs);
-        break;
-      case rt::SchedulerKind::kNaive:
-        dev.scheduler = std::make_unique<rt::NaiveScheduler>(
-            *dev.exec, *dev.pool, collector_, cfg_.naive);
-        break;
-    }
-
-    PlacerDevice pd;
-    pd.spec = spec;
-    // Reference size for WCET lookups; profiles cover every pool size, so
-    // any context works — use the first, matching the single-GPU path.
-    pd.pool_sms = dev.pool->at(0).sm_limit;
-    // Capacity from the actual (possibly heterogeneous) context layout.
-    std::vector<int> ctx_sms;
-    ctx_sms.reserve(dev.pool->contexts().size());
-    for (const auto& pc : dev.pool->contexts()) {
-      ctx_sms.push_back(pc.sm_limit);
-    }
-    pd.capacity =
-        rt::pool_capacity(gpu::SpeedupModel::rtx2080ti(), cfg_.sharing,
-                          spec.total_sms, ctx_sms, streams_per_context);
-    placer_devices.push_back(std::move(pd));
-
-    devices_.push_back(std::move(dev));
+    devices_.push_back(make_device(spec, num_devices()));
+    placer_devices.push_back(placer_device_for(spec, devices_.back()));
   }
   placer_ = std::make_unique<Placer>(std::move(placer_devices),
                                      cfg_.placement, cfg_.admission_margin);
+}
+
+Cluster::Device Cluster::make_device(const gpu::DeviceSpec& spec, int index) {
+  Device dev;
+  dev.spec = spec;
+  dev.exec = std::make_unique<gpu::Executor>(
+      engine_, spec, gpu::SpeedupModel::rtx2080ti(), cfg_.sharing);
+  dev.pool = std::make_unique<gpu::ContextPool>(*dev.exec, cfg_.pool);
+  std::unique_ptr<rt::Scheduler> scheduler;
+  switch (cfg_.scheduler) {
+    case rt::SchedulerKind::kSgprs:
+      scheduler = std::make_unique<rt::SgprsScheduler>(
+          *dev.exec, *dev.pool, collector_, cfg_.sgprs);
+      break;
+    case rt::SchedulerKind::kNaive:
+      scheduler = std::make_unique<rt::NaiveScheduler>(
+          *dev.exec, *dev.pool, collector_, cfg_.naive);
+      break;
+  }
+  dev.scheduler = cfg_.wrap_scheduler
+                      ? cfg_.wrap_scheduler(std::move(scheduler), index)
+                      : std::move(scheduler);
+  return dev;
+}
+
+PlacerDevice Cluster::placer_device_for(const gpu::DeviceSpec& spec,
+                                        const Device& dev) const {
+  const int streams_per_context =
+      cfg_.pool.high_streams_per_context + cfg_.pool.low_streams_per_context;
+  PlacerDevice pd;
+  pd.spec = spec;
+  // Reference size for WCET lookups; profiles cover every pool size, so
+  // any context works — use the first, matching the single-GPU path.
+  pd.pool_sms = dev.pool->at(0).sm_limit;
+  // Capacity from the actual (possibly heterogeneous) context layout.
+  std::vector<int> ctx_sms;
+  ctx_sms.reserve(dev.pool->contexts().size());
+  for (const auto& pc : dev.pool->contexts()) {
+    ctx_sms.push_back(pc.sm_limit);
+  }
+  pd.capacity =
+      rt::pool_capacity(gpu::SpeedupModel::rtx2080ti(), cfg_.sharing,
+                        spec.total_sms, ctx_sms, streams_per_context);
+  return pd;
+}
+
+int Cluster::add_device(const gpu::DeviceSpec& spec, bool active) {
+  const int index = num_devices();
+  devices_.push_back(make_device(spec, index));
+  Device& dev = devices_.back();
+  placer_->add_device(placer_device_for(spec, dev), active);
+  if (started_) {
+    dev.runner =
+        std::make_unique<rt::Runner>(engine_, *dev.scheduler, rcfg_);
+    dev.runner->start();
+  }
+  return index;
 }
 
 std::vector<int> Cluster::pool_sm_sizes() const {
@@ -83,12 +123,35 @@ void Cluster::place(std::vector<rt::Task> tasks) {
 void Cluster::start(const rt::RunnerConfig& rcfg) {
   SGPRS_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
+  rcfg_ = rcfg;
   for (auto& dev : devices_) {
-    if (dev.tasks.empty()) continue;
-    dev.runner = std::make_unique<rt::Runner>(engine_, *dev.scheduler,
-                                              dev.tasks, rcfg);
+    dev.runner = std::make_unique<rt::Runner>(engine_, *dev.scheduler, rcfg);
+    for (const auto& t : dev.tasks) dev.runner->add_task(t);
     dev.runner->start();
   }
+}
+
+const rt::Task& Cluster::admit_task(int i, rt::Task task) {
+  Device& dev = devices_.at(i);
+  dev.tasks.push_back(std::move(task));
+  const rt::Task& stored = dev.tasks.back();
+  if (started_) {
+    SGPRS_CHECK(dev.runner != nullptr);
+    dev.runner->add_task(stored);
+  }
+  return stored;
+}
+
+bool Cluster::retire_task(int i, int task_id, bool forget_metrics) {
+  Device& dev = devices_.at(i);
+  // Pre-start retirement would silently leave the stream armed (and its
+  // placer capacity held) at start(); make the misuse loud instead.
+  SGPRS_CHECK_MSG(started_ && dev.runner,
+                  "retire_task() before start() is not supported");
+  if (!dev.runner->retire_task(task_id)) return false;
+  placer_->remove_task(i, task_id);
+  if (forget_metrics) dev.moved_away.push_back(task_id);
+  return true;
 }
 
 metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
@@ -97,10 +160,15 @@ metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
   report.device_index = i;
   report.device_name = dev.spec.name;
   report.total_sms = dev.spec.total_sms;
-  report.tasks_assigned = static_cast<int>(dev.tasks.size());
   std::vector<int> ids;
   ids.reserve(dev.tasks.size());
-  for (const auto& t : dev.tasks) ids.push_back(t.id);
+  for (const auto& t : dev.tasks) {
+    if (std::find(dev.moved_away.begin(), dev.moved_away.end(), t.id) ==
+        dev.moved_away.end()) {
+      ids.push_back(t.id);
+    }
+  }
+  report.tasks_assigned = static_cast<int>(ids.size());
   report.snapshot = collector_.aggregate_tasks(ids, end);
   report.busy_sm_seconds = dev.exec->busy_sm_seconds();
   // busy_sm_seconds integrates *granted* SMs, and an over-subscribed pool
@@ -134,7 +202,8 @@ std::int64_t Cluster::releases_issued() const {
 std::int64_t Cluster::stage_migrations() const {
   std::int64_t total = 0;
   for (const auto& dev : devices_) {
-    if (auto* s = dynamic_cast<rt::SgprsScheduler*>(dev.scheduler.get())) {
+    if (auto* s = dynamic_cast<const rt::SgprsScheduler*>(
+            dev.scheduler->unwrap())) {
       total += s->stage_migrations();
     }
   }
@@ -144,7 +213,8 @@ std::int64_t Cluster::stage_migrations() const {
 std::int64_t Cluster::medium_promotions() const {
   std::int64_t total = 0;
   for (const auto& dev : devices_) {
-    if (auto* s = dynamic_cast<rt::SgprsScheduler*>(dev.scheduler.get())) {
+    if (auto* s = dynamic_cast<const rt::SgprsScheduler*>(
+            dev.scheduler->unwrap())) {
       total += s->medium_promotions();
     }
   }

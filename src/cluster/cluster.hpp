@@ -5,10 +5,19 @@
 // unique), so per-device metrics are subset aggregations and the fleet
 // aggregate is exact.
 //
-// Lifecycle: construct → place(tasks) → start(cfg) → engine.run_until(T)
-// → fleet_report(T).
+// Closed-world lifecycle: construct → place(tasks) → start(cfg) →
+// engine.run_until(T) → fleet_report(T).
+//
+// Open-world surface (the fleet runtime, src/fleet/): add_device() grows
+// the fleet mid-run, set_device_active() gates placement for warm-up and
+// drain phases, admit_task()/retire_task() churn streams on a started
+// device. Task storage is a per-device deque, so admitted tasks have
+// stable addresses for the runner and in-flight jobs even as streams
+// churn.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -43,7 +52,19 @@ struct ClusterConfig {
   rt::SgprsConfig sgprs;
   rt::NaiveConfig naive;
   gpu::SharingParams sharing;
+  /// Optional decorator applied to every per-device scheduler as it is
+  /// created (the fleet overload guard). Absent = schedulers run bare.
+  std::function<std::unique_ptr<rt::Scheduler>(
+      std::unique_ptr<rt::Scheduler> inner, int device_index)>
+      wrap_scheduler;
 };
+
+/// Context SM sizes one device of `spec` would expose under `pool`,
+/// first-seen order — so task WCETs can be profiled for devices the
+/// autoscaler may add before any such device exists.
+std::vector<int> pool_sm_sizes_for(const gpu::DeviceSpec& spec,
+                                   const gpu::ContextPoolConfig& pool,
+                                   const gpu::SharingParams& sharing);
 
 class Cluster {
  public:
@@ -52,8 +73,11 @@ class Cluster {
     std::unique_ptr<gpu::Executor> exec;
     std::unique_ptr<gpu::ContextPool> pool;
     std::unique_ptr<rt::Scheduler> scheduler;
-    /// Tasks the placer assigned here (stable storage for the runner).
-    std::vector<rt::Task> tasks;
+    /// Tasks admitted here (deque: stable addresses under churn).
+    std::deque<rt::Task> tasks;
+    /// Task ids re-placed onto another device: the stream's metrics are
+    /// reported by its final home, so this device's report skips them.
+    std::vector<int> moved_away;
     std::unique_ptr<rt::Runner> runner;
   };
 
@@ -78,6 +102,39 @@ class Cluster {
   /// Arms periodic releases on every device (admits tasks into the
   /// per-device schedulers). Call once after place(); then run the engine.
   void start(const rt::RunnerConfig& rcfg);
+  bool started() const { return started_; }
+
+  // --- Open-world (fleet runtime) surface ---
+
+  /// Adds a device mid-run (or before start). Its scheduler/pool/executor
+  /// are created immediately; when `active` is false the placer will not
+  /// use it until set_device_active(i, true) — autoscaler warm-up latency.
+  int add_device(const gpu::DeviceSpec& spec, bool active = true);
+  void set_device_active(int i, bool active) {
+    placer_->set_device_active(i, active);
+  }
+  bool device_active(int i) const { return placer_->device_active(i); }
+
+  /// Admits one stream onto device `i`: stores it (stable address) and —
+  /// when the cluster is started — arms its releases from now on. Returns
+  /// the stored task. Which device (and its admission-capacity accounting)
+  /// is the caller's business, normally a preceding placer().place() that
+  /// chose `i`.
+  const rt::Task& admit_task(int i, rt::Task task);
+
+  /// Retires stream `task_id` from device `i`: future releases stop
+  /// (generation-tagged cancel), in-flight jobs drain, admission capacity
+  /// is released. `forget_metrics` additionally drops the id from this
+  /// device's report — used when the stream is re-placed onto another
+  /// device, which then owns its whole history. Returns false if the id is
+  /// not live on that device. Only valid after start() (checked).
+  bool retire_task(int i, int task_id, bool forget_metrics = false);
+
+  /// Jobs released but not yet completed/dropped on device `i` (drain
+  /// probe for scale-down).
+  int jobs_in_flight(int i) const {
+    return devices_.at(i).scheduler->jobs_in_flight();
+  }
 
   /// Per-device metrics over [collector.warmup(), end]; utilization over
   /// the whole run [0, end].
@@ -90,13 +147,18 @@ class Cluster {
   std::int64_t medium_promotions() const;
 
  private:
+  PlacerDevice placer_device_for(const gpu::DeviceSpec& spec,
+                                 const Device& dev) const;
+  Device make_device(const gpu::DeviceSpec& spec, int index);
+
   sim::Engine& engine_;
   metrics::Collector& collector_;
   ClusterConfig cfg_;
-  std::vector<Device> devices_;
+  std::deque<Device> devices_;  // stable addresses under add_device
   std::unique_ptr<Placer> placer_;
   std::vector<rt::Task> rejected_;
   bool started_ = false;
+  rt::RunnerConfig rcfg_;
 };
 
 }  // namespace sgprs::cluster

@@ -31,13 +31,31 @@ Placer::Placer(std::vector<PlacerDevice> devices, PlacementPolicy policy,
   SGPRS_CHECK_MSG(admission_margin <= 1.0,
                   "admission margin is a fraction of capacity");
   devices_.reserve(devices.size());
-  for (auto& d : devices) {
-    SGPRS_CHECK(d.capacity.work_rate > 0.0);
-    // A disabled margin still needs a valid controller for load tracking.
-    rt::AdmissionController controller(d.capacity, d.pool_sms,
-                                       margin_ > 0.0 ? margin_ : 1.0);
-    devices_.push_back(DeviceState{std::move(d), std::move(controller)});
-  }
+  for (auto& d : devices) add_device(std::move(d));
+}
+
+int Placer::add_device(PlacerDevice device, bool active) {
+  SGPRS_CHECK(device.capacity.work_rate > 0.0);
+  // A disabled margin still needs a valid controller for load tracking.
+  rt::AdmissionController controller(device.capacity, device.pool_sms,
+                                     margin_ > 0.0 ? margin_ : 1.0);
+  devices_.push_back(
+      DeviceState{std::move(device), std::move(controller), active});
+  return static_cast<int>(devices_.size()) - 1;
+}
+
+void Placer::set_device_active(int d, bool active) {
+  devices_.at(d).active = active;
+}
+
+int Placer::active_devices() const {
+  int n = 0;
+  for (const auto& d : devices_) n += d.active ? 1 : 0;
+  return n;
+}
+
+bool Placer::remove_task(int d, int task_id) {
+  return devices_.at(d).controller.remove(task_id);
 }
 
 double Placer::utilization(int d) const {
@@ -93,8 +111,22 @@ std::vector<int> Placer::candidate_order(const rt::Task& task) const {
   return order;
 }
 
+std::optional<int> Placer::force_place(const rt::Task& task) {
+  for (int d : candidate_order(task)) {
+    if (!devices_[d].active) continue;
+    devices_[d].controller.force_admit(task);
+    if (policy_ == PlacementPolicy::kRoundRobin) {
+      rr_next_ = (d + 1) % num_devices();
+    }
+    return d;
+  }
+  ++rejected_;
+  return std::nullopt;
+}
+
 std::optional<int> Placer::place(const rt::Task& task) {
   for (int d : candidate_order(task)) {
+    if (!devices_[d].active) continue;
     auto& controller = devices_[d].controller;
     if (margin_ <= 0.0) {
       controller.force_admit(task);  // admission control disabled

@@ -36,8 +36,30 @@ class Placer {
          double admission_margin = 0.95);
 
   /// Places one task. Returns the chosen device index, or std::nullopt
-  /// when no device admits it (counted in rejected()).
+  /// when no device admits it (counted in rejected()). Inactive devices
+  /// (drained or still warming up) are never candidates.
   std::optional<int> place(const rt::Task& task);
+
+  /// Places ignoring the admission test (fleet overload control with
+  /// admission_test off): the first active device in policy order takes
+  /// the task unconditionally, load accounting stays accurate. Returns
+  /// std::nullopt only when no device is active.
+  std::optional<int> force_place(const rt::Task& task);
+
+  /// Registers a device added to the fleet mid-run (autoscaling). Returns
+  /// its index. The device starts inactive when `active` is false (warm-up
+  /// latency: capacity exists but takes no placements yet).
+  int add_device(PlacerDevice device, bool active = true);
+
+  /// Gates a device in or out of placement. Deactivating never moves
+  /// already-placed tasks — drain/re-place decisions belong to the caller.
+  void set_device_active(int d, bool active);
+  bool device_active(int d) const { return devices_.at(d).active; }
+  int active_devices() const;
+
+  /// Releases the admission capacity task `task_id` holds on device `d`
+  /// (stream retired or re-placed). Returns false if it was not there.
+  bool remove_task(int d, int task_id);
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   PlacementPolicy policy() const { return policy_; }
@@ -57,6 +79,7 @@ class Placer {
   struct DeviceState {
     PlacerDevice info;
     rt::AdmissionController controller;
+    bool active = true;
   };
 
   /// Device indices in the order this policy wants them tried.

@@ -1,0 +1,89 @@
+// OverloadGuard: a per-device scheduler decorator that sheds releases at
+// the door when the device is over its in-flight ceiling.
+//
+// Shedding happens *before* the wrapped scheduler sees the release, so a
+// shed job costs nothing downstream — no queue entry, no context choice,
+// no job allocation. Priority-aware mode consults the stream's tier
+// (tier 0 = protected); indiscriminate mode sheds anything. Every shed is
+// counted against the stream in the shared Collector (release + drop, the
+// same accounting a scheduler-level drop gets) and leaves an audit record.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fleet/policy.hpp"
+#include "fleet/report.hpp"
+#include "metrics/collector.hpp"
+#include "rt/scheduler.hpp"
+
+namespace sgprs::fleet {
+
+/// State shared by every device's guard (one fleet run = one instance).
+struct OverloadState {
+  OverloadConfig cfg;
+  metrics::Collector* collector = nullptr;
+  /// task id -> shed tier (0 = never shed under kPriority).
+  std::vector<int> tier_by_task;
+  std::int64_t jobs_shed = 0;
+  std::vector<FleetDecision>* audit = nullptr;
+  std::int64_t* audit_dropped = nullptr;
+
+  int tier(int task_id) const {
+    return task_id < static_cast<int>(tier_by_task.size())
+               ? tier_by_task[task_id]
+               : 0;
+  }
+  void set_tier(int task_id, int tier) {
+    if (task_id >= static_cast<int>(tier_by_task.size())) {
+      tier_by_task.resize(task_id + 1, 0);
+    }
+    tier_by_task[task_id] = tier;
+  }
+  void record(FleetDecision d) {
+    if (!audit) return;
+    if (audit->size() >= FleetRunResult::kMaxDecisions) {
+      if (audit_dropped) ++*audit_dropped;
+      return;
+    }
+    audit->push_back(std::move(d));
+  }
+};
+
+class OverloadGuard final : public rt::Scheduler {
+ public:
+  OverloadGuard(std::unique_ptr<rt::Scheduler> inner, int device_index,
+                OverloadState* state)
+      : inner_(std::move(inner)), device_(device_index), state_(state) {}
+
+  void admit(const rt::Task& task) override { inner_->admit(task); }
+
+  void release_job(const rt::Task& task, common::SimTime now) override {
+    const OverloadConfig& cfg = state_->cfg;
+    const bool sheddable =
+        cfg.shed == ShedMode::kAll ||
+        (cfg.shed == ShedMode::kPriority && state_->tier(task.id) > 0);
+    if (cfg.queue_limit > 0 && sheddable &&
+        inner_->jobs_in_flight() >= cfg.queue_limit) {
+      state_->collector->on_release(task.id, now);
+      state_->collector->on_drop(task.id, now);
+      ++state_->jobs_shed;
+      state_->record({now, DecisionKind::kJobShed, task.id, device_,
+                      "in-flight at limit " +
+                          std::to_string(cfg.queue_limit)});
+      return;
+    }
+    inner_->release_job(task, now);
+  }
+
+  int jobs_in_flight() const override { return inner_->jobs_in_flight(); }
+  std::string name() const override { return inner_->name(); }
+  const rt::Scheduler* unwrap() const override { return inner_->unwrap(); }
+
+ private:
+  std::unique_ptr<rt::Scheduler> inner_;
+  int device_;
+  OverloadState* state_;
+};
+
+}  // namespace sgprs::fleet

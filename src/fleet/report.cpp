@@ -1,0 +1,134 @@
+#include "fleet/report.hpp"
+
+#include "common/json_writer.hpp"
+#include "metrics/report.hpp"
+
+namespace sgprs::fleet {
+
+const char* to_string(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kStreamAdmitted: return "stream_admitted";
+    case DecisionKind::kStreamDowngraded: return "stream_downgraded";
+    case DecisionKind::kStreamRejected: return "stream_rejected";
+    case DecisionKind::kStreamRetired: return "stream_retired";
+    case DecisionKind::kStreamReplaced: return "stream_replaced";
+    case DecisionKind::kStreamDropped: return "stream_dropped";
+    case DecisionKind::kJobShed: return "job_shed";
+    case DecisionKind::kScaleUp: return "scale_up";
+    case DecisionKind::kDeviceActive: return "device_active";
+    case DecisionKind::kScaleDown: return "scale_down";
+    case DecisionKind::kDeviceRetired: return "device_retired";
+  }
+  return "?";
+}
+
+void print_fleet_run(const FleetRunResult& r, std::ostream& out) {
+  const auto& f = r.fleet.fleet;
+  metrics::Table summary({"fleet metric", "value"});
+  summary.add_row({"total FPS", metrics::Table::fmt(f.fps, 1)});
+  summary.add_row({"on-time FPS", metrics::Table::fmt(f.fps_on_time, 1)});
+  summary.add_row({"DMR", metrics::Table::pct(f.dmr)});
+  summary.add_row({"p99 latency (ms)",
+                   metrics::Table::fmt(f.p99_latency_ms, 2)});
+  summary.add_row({"streams admitted", std::to_string(r.streams_admitted)});
+  summary.add_row({"streams retired", std::to_string(r.streams_retired)});
+  summary.add_row({"streams rejected", std::to_string(r.streams_rejected)});
+  summary.add_row(
+      {"streams downgraded", std::to_string(r.streams_downgraded)});
+  summary.add_row({"jobs shed", std::to_string(r.jobs_shed)});
+  summary.add_row({"peak devices", std::to_string(r.peak_devices)});
+  summary.add_row({"final devices", std::to_string(r.final_devices)});
+  summary.add_row({"scale ups / downs", std::to_string(r.scale_ups) + " / " +
+                                            std::to_string(r.scale_downs)});
+  summary.add_row({"migrations", std::to_string(r.stage_migrations)});
+  summary.print(out);
+
+  out << "\n";
+  metrics::Table devices({"device", "spec", "SMs", "streams", "FPS", "DMR",
+                          "util"});
+  for (const auto& d : r.fleet.devices) {
+    devices.add_row({std::to_string(d.device_index), d.device_name,
+                     std::to_string(d.total_sms),
+                     std::to_string(d.tasks_assigned),
+                     metrics::Table::fmt(d.snapshot.fps, 1),
+                     metrics::Table::pct(d.snapshot.dmr),
+                     metrics::Table::pct(d.utilization)});
+  }
+  devices.print(out);
+}
+
+void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
+  common::JsonWriter w(out);
+  w.begin_object();
+  w.field("scenario", r.name);
+  const auto& f = r.fleet.fleet;
+  w.field("fps", f.fps);
+  w.field("fps_on_time", f.fps_on_time);
+  w.field("dmr", f.dmr);
+  w.field("p50_latency_ms", f.p50_latency_ms);
+  w.field("p99_latency_ms", f.p99_latency_ms);
+  w.field("releases", r.releases);
+  w.field("migrations", r.stage_migrations);
+  w.field("streams_admitted", r.streams_admitted);
+  w.field("streams_retired", r.streams_retired);
+  w.field("streams_rejected", r.streams_rejected);
+  w.field("streams_downgraded", r.streams_downgraded);
+  w.field("jobs_shed", r.jobs_shed);
+  w.field("peak_devices", r.peak_devices);
+  w.field("final_devices", r.final_devices);
+  w.field("scale_ups", r.scale_ups);
+  w.field("scale_downs", r.scale_downs);
+  w.field("decisions", static_cast<std::int64_t>(r.decisions.size()));
+  w.field("decisions_dropped", r.decisions_dropped);
+
+  w.key("devices").begin_array();
+  for (const auto& d : r.fleet.devices) {
+    w.begin_object();
+    w.field("index", d.device_index);
+    w.field("name", d.device_name);
+    w.field("total_sms", d.total_sms);
+    w.field("streams", d.tasks_assigned);
+    w.field("fps", d.snapshot.fps);
+    w.field("dmr", d.snapshot.dmr);
+    w.field("utilization", d.utilization);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("series").begin_array();
+  for (const auto& s : r.series.samples) {
+    w.begin_object();
+    w.field("t_s", s.t.to_sec());
+    w.field("devices_active", s.devices_active);
+    w.field("devices_warming", s.devices_warming);
+    w.field("devices_draining", s.devices_draining);
+    w.field("streams_live", s.streams_live);
+    w.field("releases", s.releases);
+    w.field("completions", s.completions);
+    w.field("on_time", s.on_time);
+    w.field("dropped", s.dropped);
+    w.field("window_fps", s.window_fps);
+    w.field("window_dmr", s.window_dmr);
+    w.field("utilization", s.utilization);
+    w.field("streams_rejected_cum", s.streams_rejected_cum);
+    w.field("jobs_shed_cum", s.jobs_shed_cum);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("audit").begin_array();
+  for (const auto& d : r.decisions) {
+    w.begin_object();
+    w.field("t_s", d.at.to_sec());
+    w.field("kind", to_string(d.kind));
+    if (d.task_id >= 0) w.field("task_id", d.task_id);
+    if (d.device >= 0) w.field("device", d.device);
+    if (!d.detail.empty()) w.field("detail", d.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace sgprs::fleet

@@ -1,0 +1,88 @@
+// Result of an open-world fleet run: final fleet rollup, the time-series
+// trajectory, churn/overload counters and the per-decision audit trail.
+//
+// Attribution note: the per-device reports attribute a re-placed stream's
+// whole history to its final home device (the cluster forgets moved-away
+// ids on the source). The fleet-level snapshot is computed directly from
+// the shared Collector, so it is exact regardless of migrations.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/fleet.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace sgprs::fleet {
+
+using common::SimTime;
+
+enum class DecisionKind {
+  kStreamAdmitted,
+  kStreamDowngraded,  // admitted after a QoS fps_scale retry
+  kStreamRejected,    // no device passed admission
+  kStreamRetired,     // scripted/stochastic departure
+  kStreamReplaced,    // moved off a draining device
+  kStreamDropped,     // re-placement off a draining device failed
+  kJobShed,           // release dropped at the overload guard
+  kScaleUp,           // device added (warm-up begins)
+  kDeviceActive,      // warm-up elapsed; device takes placements
+  kScaleDown,         // device deactivated (drain begins)
+  kDeviceRetired,     // drain complete
+};
+const char* to_string(DecisionKind k);
+
+/// One control-plane decision, in simulation order.
+struct FleetDecision {
+  SimTime at;
+  DecisionKind kind = DecisionKind::kStreamAdmitted;
+  int task_id = -1;  // -1 when the decision is about a device
+  int device = -1;   // -1 when no device is involved
+  std::string detail;
+};
+
+struct FleetRunResult {
+  std::string name;
+  /// Per-device reports + exact fleet snapshot (see header note).
+  metrics::FleetReport fleet;
+  metrics::TimeSeries series;
+
+  std::int64_t releases = 0;
+  std::int64_t stage_migrations = 0;   // SGPRS only
+  std::int64_t medium_promotions = 0;  // SGPRS only
+  double sim_events = 0.0;
+
+  // --- churn counters ---
+  std::int64_t streams_admitted = 0;  // includes the initial task set
+  std::int64_t streams_rejected = 0;  // admission + failed re-placement
+  std::int64_t streams_retired = 0;
+  std::int64_t streams_downgraded = 0;
+  std::int64_t jobs_shed = 0;
+
+  // --- fleet-shape counters ---
+  int peak_devices = 0;   // max simultaneously provisioned
+  int final_devices = 0;  // active at the horizon
+  int scale_ups = 0;
+  int scale_downs = 0;
+
+  /// Audit trail, capped at kMaxDecisions (then decisions_dropped counts).
+  std::vector<FleetDecision> decisions;
+  std::int64_t decisions_dropped = 0;
+  static constexpr std::size_t kMaxDecisions = 10000;
+
+  double fps() const { return fleet.fleet.fps; }
+  double dmr() const { return fleet.fleet.dmr; }
+};
+
+/// Human-readable run summary: headline metrics, churn counters and the
+/// per-device table.
+void print_fleet_run(const FleetRunResult& r, std::ostream& out);
+
+/// Full machine-readable report: summary + per-device records + the whole
+/// time series + audit counters. Byte-identical across replays — the
+/// determinism pin compares this output.
+void write_fleet_run_json(const FleetRunResult& r, std::ostream& out);
+
+}  // namespace sgprs::fleet

@@ -1,0 +1,614 @@
+#include "fleet/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/profiler.hpp"
+#include "fleet/overload_guard.hpp"
+#include "gpu/device.hpp"
+#include "sim/engine.hpp"
+
+namespace sgprs::fleet {
+
+namespace {
+
+using common::SimTime;
+using workload::ScenarioConfig;
+using workload::ScenarioSpec;
+
+/// A stream currently releasing jobs somewhere in the fleet.
+struct LiveStream {
+  int task_id = -1;
+  const rt::Task* task = nullptr;  // stable storage in a device's deque
+  int device = -1;
+  SimTime admitted_at;
+  int tier = 0;
+  /// Origin name: the timeline template for churned streams, the task
+  /// entry name for the initial set (retire targets match it exactly),
+  /// empty for generator-built tasks.
+  std::string tmpl;
+};
+
+class FleetRuntime {
+ public:
+  FleetRuntime(const ScenarioSpec& spec, const workload::RunSeeds& seeds)
+      : spec_(spec),
+        cfg_(workload::lower(spec)),
+        policy_(spec.fleet_policy ? *spec.fleet_policy : FleetPolicySpec{}),
+        timeline_(spec.timeline ? *spec.timeline : TimelineSpec{}) {
+    cfg_.seed = seeds.sim;
+    workload::validate(cfg_);
+    generator_seed_ = seeds.generator;
+    // Churn rng: timeline seed mixed with the sim seed, so experiment
+    // replications decorrelate while a fixed (spec, seeds) pair replays
+    // byte-identically.
+    std::uint64_t mix = timeline_.seed +
+                        0x9e3779b97f4a7c15ULL * (cfg_.seed + 1);
+    churn_rng_.reseed(common::splitmix64_next(mix));
+
+    collector_ = std::make_unique<metrics::Collector>(cfg_.warmup);
+    overload_.cfg = policy_.overload;
+    overload_.collector = collector_.get();
+    overload_.audit = &result_.decisions;
+    overload_.audit_dropped = &result_.decisions_dropped;
+
+    build_cluster();
+    build_prototypes();
+    place_initial_tasks();
+    start();
+  }
+
+  FleetRunResult run() {
+    engine_.run_until(cfg_.duration);
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  // --- setup ---------------------------------------------------------
+
+  void build_cluster() {
+    cluster::ClusterConfig ccfg;
+    ccfg.devices = cfg_.fleet.empty()
+                       ? std::vector<gpu::DeviceSpec>(cfg_.num_devices,
+                                                      cfg_.device)
+                       : cfg_.fleet;
+    ccfg.placement = cfg_.placement;
+    ccfg.admission_margin = cfg_.admission_margin;
+    ccfg.scheduler = cfg_.scheduler;
+    ccfg.pool = workload::pool_config_for(cfg_);
+    ccfg.sgprs = cfg_.sgprs;
+    ccfg.naive = cfg_.naive;
+    ccfg.sharing = cfg_.sharing;
+    ccfg.wrap_scheduler = [this](std::unique_ptr<rt::Scheduler> inner,
+                                 int device_index) {
+      return std::make_unique<OverloadGuard>(std::move(inner), device_index,
+                                             &overload_);
+    };
+    cluster_ = std::make_unique<cluster::Cluster>(engine_, *collector_, ccfg);
+
+    scale_spec_ = policy_.autoscaler.device.empty()
+                      ? cfg_.device
+                      : *gpu::device_by_name(policy_.autoscaler.device);
+    pool_sizes_ = cluster_->pool_sm_sizes();
+    if (policy_.autoscaler.kind != AutoscalePolicyKind::kNone) {
+      // Devices the autoscaler may add must already be covered by every
+      // task's WCET profile — profile their pool sizes up front.
+      for (int sms : cluster::pool_sm_sizes_for(
+               scale_spec_, workload::pool_config_for(cfg_), cfg_.sharing)) {
+        if (std::find(pool_sizes_.begin(), pool_sizes_.end(), sms) ==
+            pool_sizes_.end()) {
+          pool_sizes_.push_back(sms);
+        }
+      }
+      autoscaler_ = make_autoscaler(policy_.autoscaler.kind);
+    }
+  }
+
+  /// One pre-profiled prototype task per template (plus a downgraded
+  /// variant when QoS fps_scale is enabled): admissions clone, never
+  /// profile.
+  void build_prototypes() {
+    if (timeline_.templates.empty()) return;
+    dnn::Profiler profiler(cfg_.device, gpu::SpeedupModel::rtx2080ti(),
+                           dnn::CostModel::calibrated());
+    std::map<std::string, std::shared_ptr<const dnn::Network>> networks;
+    auto network_for = [&](const std::string& name) {
+      auto it = networks.find(name);
+      if (it == networks.end()) {
+        it = networks
+                 .emplace(name, std::make_shared<const dnn::Network>(
+                                    dnn::network_builder_by_name(name)()))
+                 .first;
+      }
+      return it->second;
+    };
+    auto build_proto = [&](const StreamTemplate& t, double fps_scale) {
+      const double fps = t.fps * fps_scale;
+      const double min_sep_ms =
+          (t.min_separation_ms > 0.0 ? t.min_separation_ms
+                                     : 1000.0 / t.fps) /
+          fps_scale;
+      rt::TaskConfig tc;
+      // Sporadic streams build at their worst-case rate so admission math
+      // stays conservative (mirrors the task-entry path).
+      tc.fps = t.arrival == rt::ArrivalModel::kSporadic ? 1000.0 / min_sep_ms
+                                                        : fps;
+      tc.num_stages = t.num_stages;
+      tc.priority_policy = t.priority_policy;
+      if (t.deadline_ms > 0.0) {
+        tc.deadline = SimTime::from_ms(t.deadline_ms);
+      }
+      rt::Task proto = rt::build_task(0, network_for(t.network), tc,
+                                      profiler, pool_sizes_);
+      proto.phase = SimTime::from_ms(t.phase_ms);
+      if (t.arrival == rt::ArrivalModel::kSporadic) {
+        proto.arrival = rt::ArrivalModel::kSporadic;
+        proto.min_separation = SimTime::from_ms(min_sep_ms);
+        proto.max_separation = SimTime::from_ms(
+            t.max_separation_ms > 0.0 ? t.max_separation_ms / fps_scale
+                                      : 1.5 * min_sep_ms);
+      }
+      return proto;
+    };
+    for (const auto& t : timeline_.templates) {
+      prototypes_[t.name] = build_proto(t, 1.0);
+      if (policy_.overload.fps_scale < 1.0) {
+        downgraded_[t.name] = build_proto(t, policy_.overload.fps_scale);
+      }
+    }
+  }
+
+  void place_initial_tasks() {
+    if (spec_.tasks.empty() && !spec_.generator) return;
+    auto builder = workload::task_builder_for(spec_, generator_seed_);
+    std::vector<rt::Task> tasks = builder(cfg_, pool_sizes_);
+    for (const auto& t : tasks) {
+      next_task_id_ = std::max(next_task_id_, t.id + 1);
+    }
+    cluster_->place(std::move(tasks));
+    for (int d = 0; d < cluster_->num_devices(); ++d) {
+      for (const auto& t : cluster_->device(d).tasks) {
+        const workload::TaskEntrySpec* e =
+            workload::task_entry_for(spec_, t.id);
+        const int tier = e ? e->tier : 0;
+        overload_.set_tier(t.id, tier);
+        live_.push_back(LiveStream{t.id, &t, d, SimTime::zero(), tier,
+                                   e ? e->name : ""});
+        ++result_.streams_admitted;
+      }
+    }
+    // Keep stream bookkeeping in admission (id) order, not device order.
+    std::sort(live_.begin(), live_.end(),
+              [](const LiveStream& a, const LiveStream& b) {
+                return a.task_id < b.task_id;
+              });
+    for (const auto& t : cluster_->rejected_tasks()) {
+      ++result_.streams_rejected;
+      record({SimTime::zero(), DecisionKind::kStreamRejected, t.id, -1,
+              "initial placement failed admission"});
+    }
+  }
+
+  void start() {
+    rt::RunnerConfig rcfg;
+    rcfg.duration = cfg_.duration;
+    rcfg.jitter_seed = cfg_.seed;
+    cluster_->start(rcfg);
+    peak_provisioned_ = provisioned_devices();
+
+    // Scripted events (every_s expands against the run horizon).
+    for (std::size_t i = 0; i < timeline_.events.size(); ++i) {
+      const TimelineEvent& e = timeline_.events[i];
+      if (e.every_s <= 0.0) {
+        schedule_event(SimTime::from_sec(e.at_s), i);
+        continue;
+      }
+      const double until =
+          e.until_s > 0.0 ? e.until_s : cfg_.duration.to_sec();
+      for (double t = e.from_s; t <= until; t += e.every_s) {
+        schedule_event(SimTime::from_sec(t), i);
+      }
+    }
+    // Stochastic arrival processes.
+    for (std::size_t i = 0; i < timeline_.arrivals.size(); ++i) {
+      arm_arrival(i, SimTime::from_sec(timeline_.arrivals[i].from_s));
+    }
+    // Control loops.
+    if (autoscaler_) {
+      schedule_at_or_skip(SimTime::from_ms(policy_.autoscaler.tick_ms),
+                          [this] { autoscale_tick(); });
+    }
+    series_window_ = SimTime::from_ms(policy_.series_window_ms);
+    result_.series.window = series_window_;
+    schedule_at_or_skip(series_window_, [this] { sample_tick(); });
+  }
+
+  // --- scheduling helpers -------------------------------------------
+
+  template <typename F>
+  void schedule_at_or_skip(SimTime t, F&& fn) {
+    if (t > cfg_.duration) return;
+    engine_.schedule_at(t, std::forward<F>(fn));
+  }
+
+  void schedule_event(SimTime t, std::size_t index) {
+    if (t >= cfg_.duration) return;
+    engine_.schedule_at(t, [this, index] { run_event(index); });
+  }
+
+  // --- churn driver --------------------------------------------------
+
+  void run_event(std::size_t index) {
+    const TimelineEvent& e = timeline_.events[index];
+    const SimTime now = engine_.now();
+    if (e.kind == TimelineEvent::Kind::kAdmit) {
+      const StreamTemplate* t = find_template(timeline_, e.target);
+      SGPRS_CHECK(t != nullptr);  // validated at parse time
+      for (int i = 0; i < e.count; ++i) admit_stream(*t, now, "scripted");
+    } else {
+      retire_matching(e.target, e.count, now);
+    }
+  }
+
+  void arm_arrival(std::size_t index, SimTime from) {
+    const ArrivalProcess& a = timeline_.arrivals[index];
+    // Exponential inter-arrival gap (Poisson process), drawn in event
+    // order from the churn rng.
+    const double gap_s =
+        -std::log(1.0 - churn_rng_.next_double()) / a.rate_per_s;
+    const SimTime at = from + SimTime::from_sec(gap_s);
+    const SimTime until = a.until_s > 0.0 ? SimTime::from_sec(a.until_s)
+                                          : cfg_.duration;
+    if (at >= until || at >= cfg_.duration) return;
+    engine_.schedule_at(at, [this, index] { fire_arrival(index); });
+  }
+
+  void fire_arrival(std::size_t index) {
+    const ArrivalProcess& a = timeline_.arrivals[index];
+    const SimTime now = engine_.now();
+    const StreamTemplate* t = find_template(timeline_, a.tmpl);
+    SGPRS_CHECK(t != nullptr);
+    const int id = admit_stream(*t, now, "arrival");
+    if (id >= 0 && a.lifetime_max_s > 0.0) {
+      const double life_s =
+          churn_rng_.uniform(a.lifetime_min_s, a.lifetime_max_s);
+      schedule_at_or_skip(now + SimTime::from_sec(life_s), [this, id] {
+        retire_stream_by_id(id, DecisionKind::kStreamRetired,
+                            "lifetime elapsed");
+      });
+    }
+    arm_arrival(index, now);
+  }
+
+  /// Admits one stream: clone the prototype, place (admission test unless
+  /// disabled), QoS-downgrade retry, then arm its releases. Returns the
+  /// task id, or -1 when the stream was rejected.
+  int admit_stream(const StreamTemplate& tmpl, SimTime now,
+                   const char* source) {
+    const int id = next_task_id_++;
+    rt::Task task = prototypes_.at(tmpl.name);
+    task.id = id;
+    task.name = tmpl.name + "-" + std::to_string(id);
+
+    auto dev = policy_.overload.admission_test
+                   ? cluster_->placer().place(task)
+                   : cluster_->placer().force_place(task);
+    bool downgraded = false;
+    if (!dev && policy_.overload.fps_scale < 1.0) {
+      task = downgraded_.at(tmpl.name);
+      task.id = id;
+      task.name = tmpl.name + "-" + std::to_string(id);
+      dev = cluster_->placer().place(task);
+      downgraded = dev.has_value();
+    }
+    if (!dev) {
+      ++result_.streams_rejected;
+      record({now, DecisionKind::kStreamRejected, id, -1,
+              std::string(source) + " " + tmpl.name});
+      return -1;
+    }
+    const rt::Task& stored = cluster_->admit_task(*dev, std::move(task));
+    overload_.set_tier(id, tmpl.tier);
+    live_.push_back(LiveStream{id, &stored, *dev, now, tmpl.tier, tmpl.name});
+    ++result_.streams_admitted;
+    if (downgraded) {
+      ++result_.streams_downgraded;
+      record({now, DecisionKind::kStreamDowngraded, id, *dev,
+              tmpl.name + " at fps_scale " +
+                  std::to_string(policy_.overload.fps_scale)});
+    } else {
+      record({now, DecisionKind::kStreamAdmitted, id, *dev,
+              std::string(source) + " " + tmpl.name});
+    }
+    return id;
+  }
+
+  /// Retires the `count` oldest live streams whose origin name (timeline
+  /// template, or initial task-entry name) equals `target` exactly.
+  /// Prefix or suffix heuristics would let "cam" capture "cam_hd" /
+  /// "cam2" streams; generator-built streams have no origin name and can
+  /// only be retired by lifetime.
+  void retire_matching(const std::string& target, int count, SimTime now) {
+    std::vector<int> ids;
+    for (const auto& s : live_) {
+      if (static_cast<int>(ids.size()) >= count) break;
+      if (s.tmpl == target) ids.push_back(s.task_id);
+    }
+    for (int id : ids) {
+      retire_stream_by_id(id, DecisionKind::kStreamRetired, "scripted");
+    }
+    (void)now;
+  }
+
+  bool retire_stream_by_id(int id, DecisionKind kind, const char* detail) {
+    auto it = std::find_if(live_.begin(), live_.end(),
+                           [id](const LiveStream& s) {
+                             return s.task_id == id;
+                           });
+    if (it == live_.end()) return false;  // already gone (double retire)
+    const SimTime now = engine_.now();
+    cluster_->retire_task(it->device, id);
+    record({now, kind, id, it->device, detail});
+    live_.erase(it);
+    ++result_.streams_retired;
+    return true;
+  }
+
+  // --- autoscaler ----------------------------------------------------
+
+  int provisioned_devices() const {
+    return cluster_->placer().active_devices() +
+           static_cast<int>(warming_.size());
+  }
+
+  void autoscale_tick() {
+    const SimTime now = engine_.now();
+    finish_drains(now);
+
+    const auto& acfg = policy_.autoscaler;
+    FleetLoad load;
+    load.warming_devices = static_cast<int>(warming_.size());
+    load.draining_devices = static_cast<int>(draining_.size());
+    for (int d = 0; d < cluster_->num_devices(); ++d) {
+      if (!cluster_->placer().device_active(d)) continue;
+      ++load.active_devices;
+      const double u = cluster_->placer().utilization(d);
+      load.mean_utilization += u;
+      load.max_utilization = std::max(load.max_utilization, u);
+    }
+    if (load.active_devices > 0) {
+      load.mean_utilization /= static_cast<double>(load.active_devices);
+    }
+
+    const int provisioned = load.active_devices + load.warming_devices;
+    int desired = autoscaler_->desired_devices(load, acfg);
+    desired = std::clamp(desired, acfg.min_devices, acfg.max_devices);
+    const bool cooled =
+        last_scale_.ns < 0 ||
+        now - last_scale_ >= SimTime::from_ms(acfg.cooldown_ms);
+    if (desired > provisioned && cooled) {
+      scale_up(now);
+    } else if (desired < provisioned && cooled &&
+               load.active_devices > acfg.min_devices) {
+      scale_down(now);
+    }
+
+    schedule_at_or_skip(now + SimTime::from_ms(acfg.tick_ms),
+                        [this] { autoscale_tick(); });
+  }
+
+  void scale_up(SimTime now) {
+    const auto& acfg = policy_.autoscaler;
+    const bool warm = acfg.warmup_ms > 0.0;
+    const int idx = cluster_->add_device(scale_spec_, /*active=*/!warm);
+    ++result_.scale_ups;
+    last_scale_ = now;
+    record({now, DecisionKind::kScaleUp, -1, idx, scale_spec_.name});
+    if (warm) {
+      warming_.push_back(idx);
+      schedule_at_or_skip(now + SimTime::from_ms(acfg.warmup_ms),
+                          [this, idx] { activate_device(idx); });
+    } else {
+      record({now, DecisionKind::kDeviceActive, -1, idx, ""});
+    }
+    peak_provisioned_ = std::max(peak_provisioned_, provisioned_devices());
+  }
+
+  void activate_device(int idx) {
+    warming_.erase(std::remove(warming_.begin(), warming_.end(), idx),
+                   warming_.end());
+    cluster_->set_device_active(idx, true);
+    record({engine_.now(), DecisionKind::kDeviceActive, -1, idx, ""});
+  }
+
+  void scale_down(SimTime now) {
+    // Victim: the active device hosting the fewest live streams; ties go
+    // to the youngest (highest index) so the original fleet shrinks last.
+    int victim = -1;
+    int victim_streams = 0;
+    for (int d = 0; d < cluster_->num_devices(); ++d) {
+      if (!cluster_->placer().device_active(d)) continue;
+      int streams = 0;
+      for (const auto& s : live_) streams += s.device == d ? 1 : 0;
+      if (victim < 0 || streams < victim_streams ||
+          (streams == victim_streams && d > victim)) {
+        victim = d;
+        victim_streams = streams;
+      }
+    }
+    if (victim < 0) return;
+    cluster_->set_device_active(victim, false);
+    draining_.push_back(victim);
+    ++result_.scale_downs;
+    last_scale_ = now;
+    record({now, DecisionKind::kScaleDown, -1, victim,
+            std::to_string(victim_streams) + " streams to re-place"});
+
+    // Re-place the victim's streams through the placer; in-flight jobs
+    // keep draining on the victim, only *future* releases move.
+    std::vector<int> ids;
+    for (const auto& s : live_) {
+      if (s.device == victim) ids.push_back(s.task_id);
+    }
+    for (int id : ids) {
+      auto it = std::find_if(live_.begin(), live_.end(),
+                             [id](const LiveStream& s) {
+                               return s.task_id == id;
+                             });
+      rt::Task copy = *it->task;  // keeps its id: metrics stay continuous
+      cluster_->retire_task(victim, id, /*forget_metrics=*/true);
+      auto dev = policy_.overload.admission_test
+                     ? cluster_->placer().place(copy)
+                     : cluster_->placer().force_place(copy);
+      if (!dev) {
+        // The stream leaves the system (it *was* admitted), so it counts
+        // as retired — not rejected — keeping admitted − retired == live.
+        record({now, DecisionKind::kStreamDropped, id, victim,
+                "no device admits the re-placed stream"});
+        live_.erase(it);
+        ++result_.streams_retired;
+        continue;
+      }
+      const rt::Task& stored = cluster_->admit_task(*dev, std::move(copy));
+      it->task = &stored;
+      it->device = *dev;
+      record({now, DecisionKind::kStreamReplaced, id, *dev,
+              "from device " + std::to_string(victim)});
+    }
+  }
+
+  void finish_drains(SimTime now) {
+    for (auto it = draining_.begin(); it != draining_.end();) {
+      if (cluster_->jobs_in_flight(*it) == 0) {
+        record({now, DecisionKind::kDeviceRetired, -1, *it, ""});
+        it = draining_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // --- time series ---------------------------------------------------
+
+  void sample_tick() {
+    const SimTime now = engine_.now();
+    // Counts only — a full aggregate() would merge and sort every latency
+    // sample recorded so far just to throw the percentiles away, turning
+    // per-window sampling quadratic in run length.
+    const metrics::TaskCounters c = collector_->total_counts();
+
+    metrics::TimeSample s;
+    s.t = now;
+    for (int d = 0; d < cluster_->num_devices(); ++d) {
+      if (cluster_->placer().device_active(d)) {
+        ++s.devices_active;
+        s.utilization += cluster_->placer().utilization(d);
+      }
+    }
+    if (s.devices_active > 0) {
+      s.utilization /= static_cast<double>(s.devices_active);
+    }
+    s.devices_warming = static_cast<int>(warming_.size());
+    s.devices_draining = static_cast<int>(draining_.size());
+    s.streams_live = static_cast<int>(live_.size());
+    s.releases = c.released - prev_counts_.released;
+    s.completions = c.completed() - prev_counts_.completed();
+    s.on_time = c.on_time - prev_counts_.on_time;
+    s.dropped = c.dropped - prev_counts_.dropped;
+    const std::int64_t closed = c.closed() - prev_counts_.closed();
+    const std::int64_t late = (c.late - prev_counts_.late) + s.dropped;
+    s.window_dmr = closed > 0
+                       ? static_cast<double>(late) /
+                             static_cast<double>(closed)
+                       : 0.0;
+    // The first post-warmup sample covers only (warmup, t]; normalising
+    // by the full window would report a spurious FPS dip at the boundary.
+    const double win_s = std::min(series_window_.to_sec(),
+                                  (now - cfg_.warmup).to_sec());
+    s.window_fps = win_s > 0.0
+                       ? static_cast<double>(s.completions) / win_s
+                       : 0.0;
+    s.streams_rejected_cum = result_.streams_rejected;
+    s.jobs_shed_cum = overload_.jobs_shed;
+    result_.series.samples.push_back(s);
+    prev_counts_ = c;
+
+    schedule_at_or_skip(now + series_window_, [this] { sample_tick(); });
+  }
+
+  // --- wrap-up -------------------------------------------------------
+
+  void record(FleetDecision d) { overload_.record(std::move(d)); }
+
+  void finish() {
+    result_.name = spec_.name;
+    result_.fleet = cluster_->fleet_report(cfg_.duration);
+    // The per-device rollup double-counts nothing (moved-away ids are
+    // forgotten at the source), but the exact fleet snapshot comes from
+    // the shared collector.
+    result_.fleet.fleet = collector_->aggregate(cfg_.duration);
+    result_.fleet.tasks_rejected =
+        static_cast<int>(result_.streams_rejected);
+    result_.releases = cluster_->releases_issued();
+    result_.stage_migrations = cluster_->stage_migrations();
+    result_.medium_promotions = cluster_->medium_promotions();
+    result_.sim_events = static_cast<double>(engine_.processed_count());
+    result_.jobs_shed = overload_.jobs_shed;
+    result_.peak_devices =
+        std::max(peak_provisioned_, provisioned_devices());
+    result_.final_devices = cluster_->placer().active_devices();
+  }
+
+  const ScenarioSpec& spec_;
+  ScenarioConfig cfg_;
+  FleetPolicySpec policy_;
+  TimelineSpec timeline_;
+  std::uint64_t generator_seed_ = 0;
+
+  sim::Engine engine_;
+  std::unique_ptr<metrics::Collector> collector_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<AutoscalerPolicy> autoscaler_;
+  OverloadState overload_;
+  common::Rng churn_rng_;
+
+  gpu::DeviceSpec scale_spec_;
+  std::vector<int> pool_sizes_;
+  std::map<std::string, rt::Task> prototypes_;
+  std::map<std::string, rt::Task> downgraded_;
+
+  std::vector<LiveStream> live_;  // admission order
+  int next_task_id_ = 0;
+  std::vector<int> warming_;
+  std::vector<int> draining_;
+  SimTime last_scale_ = SimTime::from_ns(-1);
+  int peak_provisioned_ = 0;
+  SimTime series_window_;
+  metrics::TaskCounters prev_counts_;
+
+  FleetRunResult result_;
+};
+
+}  // namespace
+
+FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds) {
+  FleetRuntime runtime(spec, seeds);
+  return runtime.run();
+}
+
+FleetRunResult run_fleet_scenario(const ScenarioSpec& spec) {
+  workload::RunSeeds seeds;
+  seeds.sim = spec.base.seed;
+  seeds.generator = spec.generator ? spec.generator->seed : 0;
+  return run_fleet_scenario(spec, seeds);
+}
+
+}  // namespace sgprs::fleet

@@ -1,0 +1,40 @@
+// Online fleet runtime: the sim-time control plane for open-world runs.
+//
+// Layered on the existing engine — cluster of per-device schedulers, the
+// placer's analytic admission model, the shared collector — it adds the
+// three control loops a live serving fleet needs:
+//   * a churn driver executing the scenario's timeline (scripted admits /
+//     retires plus seeded Poisson arrival processes) through the dynamic
+//     Runner surface (add_task / generation-tagged retire);
+//   * an elastic autoscaler growing and shrinking the device fleet under a
+//     policy (utilization thresholds or capacity headroom), with warm-up
+//     latency on the way up and drain + stream re-placement on the way
+//     down;
+//   * an overload controller: admission-test rejection at the door, an
+//     optional QoS downgrade retry (fps_scale), and per-device load
+//     shedding behind the OverloadGuard.
+// Every run produces windowed time-series samples and an audit trail of
+// control decisions (fleet/report.hpp).
+//
+// Determinism: one engine, one churn rng consumed in event order, stream
+// rng seeds keyed on (seed, task id) — replays and parallel experiment
+// fan-outs of the same spec are byte-identical (pinned by
+// tests/fleet/fleet_determinism_test.cpp).
+#pragma once
+
+#include "fleet/report.hpp"
+#include "workload/spec.hpp"
+
+namespace sgprs::fleet {
+
+/// Runs one open-world spec (validated by the caller; run_spec and the
+/// suite runner route here when spec.dynamic()).
+FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec);
+
+/// Seed-overriding variant for experiment replications: seeds.sim replaces
+/// the sim seed (phases, arrival jitter, churn mixing), seeds.generator
+/// the task-generator seed.
+FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds);
+
+}  // namespace sgprs::fleet

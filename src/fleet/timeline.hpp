@@ -1,0 +1,106 @@
+// Declarative churn timeline: the open-world half of a scenario spec.
+//
+// A timeline describes how inference streams come and go *during* a run —
+// the conf_date_BabaeiC24 question the closed-world path cannot ask. It has
+// three parts:
+//   * stream templates — named (network, rate, stages, ...) combinations a
+//     churn event instantiates; each admission clones a pre-profiled
+//     prototype, so no WCET profiling happens on the hot path;
+//   * scripted events — "at t, admit k streams of template X" / "at t,
+//     retire k streams matching X", plus an `every_s` repetition form for
+//     ramps and waves;
+//   * stochastic arrival processes — seeded Poisson arrivals with bounded
+//     uniform lifetimes, for tenant-churn style workloads.
+//
+// Determinism: all randomness (arrival gaps, lifetimes) is drawn from one
+// seeded rng in simulation-event order, and per-stream arrival jitter rngs
+// are keyed on (jitter_seed, task id) — so a replay, or the same scenario
+// inside a parallel experiment fan-out, is byte-identical.
+//
+// docs/online-fleet.md is the schema reference; parsing follows the same
+// rules as the rest of the spec surface (unknown keys are errors, messages
+// carry field paths).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "rt/task.hpp"
+
+namespace sgprs::fleet {
+
+/// A named stream shape churn events instantiate. Times are milliseconds,
+/// matching the task-entry schema.
+struct StreamTemplate {
+  std::string name;
+  std::string network = "resnet18";
+  double fps = 30.0;
+  int num_stages = 6;
+  /// Relative deadline; 0 = implicit (deadline = period).
+  double deadline_ms = 0.0;
+  /// First-release offset after admission (>= 0; streams are admitted at a
+  /// simulation instant, so there is no "random phase" — the admission
+  /// time itself is the phase).
+  double phase_ms = 0.0;
+  rt::PriorityPolicy priority_policy = rt::PriorityPolicy::kLastStageHigh;
+  rt::ArrivalModel arrival = rt::ArrivalModel::kPeriodic;
+  /// Sporadic only; 0 = derive min from fps and max as 1.5 * min.
+  double min_separation_ms = 0.0;
+  double max_separation_ms = 0.0;
+  /// Overload shed tier: 0 = protected (never shed under priority-aware
+  /// shedding), higher tiers shed first. Initial "tasks" entries default
+  /// to tier 0, templates to tier 1.
+  int tier = 1;
+};
+
+/// One scripted churn event. `every_s == 0` fires once at `at_s`;
+/// `every_s > 0` repeats from `from_s` (inclusive) every `every_s` seconds
+/// until `until_s` (0 = the run horizon).
+struct TimelineEvent {
+  enum class Kind { kAdmit, kRetire };
+  Kind kind = Kind::kAdmit;
+  /// Template to admit, or the template/stream-name prefix to retire
+  /// (retire picks the oldest matching live streams, FIFO).
+  std::string target;
+  int count = 1;
+  double at_s = 0.0;
+  double every_s = 0.0;
+  double from_s = 0.0;
+  double until_s = 0.0;
+};
+
+/// Seeded Poisson arrival process: streams of `tmpl` arrive at `rate_per_s`
+/// in [from_s, until_s] and each departs after a uniform lifetime in
+/// [lifetime_min_s, lifetime_max_s] (0/0 = streams stay until the horizon).
+struct ArrivalProcess {
+  std::string tmpl;
+  double rate_per_s = 1.0;
+  double lifetime_min_s = 0.0;
+  double lifetime_max_s = 0.0;
+  double from_s = 0.0;
+  double until_s = 0.0;  // 0 = run horizon
+};
+
+struct TimelineSpec {
+  std::vector<StreamTemplate> templates;
+  std::vector<TimelineEvent> events;
+  std::vector<ArrivalProcess> arrivals;
+  /// Churn rng seed; the effective stream is mixed with the scenario sim
+  /// seed so experiment replications decorrelate without spec edits.
+  std::uint64_t seed = 1;
+};
+
+/// Parses a "timeline" section. Throws workload::SpecError with field paths.
+TimelineSpec parse_timeline(const common::JsonValue& v,
+                            const std::string& path);
+
+/// Semantic validation: unique template names, known event targets, rate
+/// and lifetime ranges. Network-name existence is checked here too.
+void validate_timeline(const TimelineSpec& spec, const std::string& path);
+
+const StreamTemplate* find_template(const TimelineSpec& spec,
+                                    const std::string& name);
+
+}  // namespace sgprs::fleet

@@ -70,6 +70,18 @@ Snapshot Collector::aggregate(SimTime end) const {
   return snapshot_of(all, end);
 }
 
+TaskCounters Collector::total_counts() const {
+  TaskCounters all;
+  for (const auto& [id, pt] : tasks_) {
+    (void)id;
+    all.released += pt.counts.released;
+    all.dropped += pt.counts.dropped;
+    all.on_time += pt.counts.on_time;
+    all.late += pt.counts.late;
+  }
+  return all;
+}
+
 Snapshot Collector::aggregate_tasks(const std::vector<int>& ids,
                                     SimTime end) const {
   PerTask all;

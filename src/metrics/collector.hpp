@@ -56,6 +56,10 @@ class Collector {
 
   /// Aggregate metrics over [warmup, end].
   Snapshot aggregate(SimTime end) const;
+  /// Summed job counters only — no latency merge/sort, so it is O(tasks)
+  /// at any instant (the fleet time-series sampler's per-window read;
+  /// a full aggregate() per window would grow with run history).
+  TaskCounters total_counts() const;
   /// Aggregate over a subset of tasks (e.g. one device's share of a fleet).
   /// Ids with no recorded events contribute nothing.
   Snapshot aggregate_tasks(const std::vector<int>& ids, SimTime end) const;

@@ -1,0 +1,29 @@
+#include "metrics/timeseries.hpp"
+
+#include "common/csv.hpp"
+
+namespace sgprs::metrics {
+
+void write_timeseries_csv(const TimeSeries& ts, std::ostream& out) {
+  common::CsvWriter csv(out);
+  csv.header({"t_s", "devices_active", "devices_warming", "devices_draining",
+              "streams_live", "releases", "completions", "on_time",
+              "dropped", "window_fps", "window_dmr", "utilization",
+              "streams_rejected_cum", "jobs_shed_cum"});
+  for (const auto& s : ts.samples) {
+    csv.row({common::CsvWriter::num(s.t.to_sec(), 4),
+             std::to_string(s.devices_active),
+             std::to_string(s.devices_warming),
+             std::to_string(s.devices_draining),
+             std::to_string(s.streams_live), std::to_string(s.releases),
+             std::to_string(s.completions), std::to_string(s.on_time),
+             std::to_string(s.dropped),
+             common::CsvWriter::num(s.window_fps, 2),
+             common::CsvWriter::num(s.window_dmr, 4),
+             common::CsvWriter::num(s.utilization, 4),
+             std::to_string(s.streams_rejected_cum),
+             std::to_string(s.jobs_shed_cum)});
+  }
+}
+
+}  // namespace sgprs::metrics

@@ -1,0 +1,52 @@
+// Windowed time-series metrics for open-world (fleet) runs.
+//
+// A closed-world run is summarised by one aggregate snapshot; a run with
+// churn and autoscaling needs the trajectory: what the DMR, throughput,
+// fleet size and shed/reject counters looked like over time. The fleet
+// runtime samples one TimeSample per window (cumulative-counter diffs
+// over Collector::total_counts() — O(tasks) per sample, no per-event
+// bookkeeping) and report writers emit them as CSV rows / JSON records.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgprs::metrics {
+
+using common::SimTime;
+
+struct TimeSample {
+  /// Window end (samples cover (t - window, t]).
+  SimTime t;
+  // --- fleet shape at the sample instant ---
+  int devices_active = 0;    // taking placements
+  int devices_warming = 0;   // scaled up, inside warm-up latency
+  int devices_draining = 0;  // deactivated, in-flight work draining
+  int streams_live = 0;
+  // --- windowed job counters (post-warmup jobs only) ---
+  std::int64_t releases = 0;
+  std::int64_t completions = 0;
+  std::int64_t on_time = 0;
+  std::int64_t dropped = 0;
+  double window_fps = 0.0;  // completions / window seconds
+  /// (late + dropped) / closed within the window; 0 when nothing closed.
+  double window_dmr = 0.0;
+  /// Mean analytic utilization (offered/capacity) over active devices.
+  double utilization = 0.0;
+  // --- cumulative overload counters ---
+  std::int64_t streams_rejected_cum = 0;
+  std::int64_t jobs_shed_cum = 0;
+};
+
+struct TimeSeries {
+  SimTime window = SimTime::zero();
+  std::vector<TimeSample> samples;
+};
+
+/// One CSV row per sample (stable column order; docs/online-fleet.md).
+void write_timeseries_csv(const TimeSeries& ts, std::ostream& out);
+
+}  // namespace sgprs::metrics

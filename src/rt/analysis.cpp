@@ -130,6 +130,16 @@ bool AdmissionController::try_admit(const Task& task) {
   return true;
 }
 
+bool AdmissionController::remove(int task_id) {
+  for (auto it = admitted_.begin(); it != admitted_.end(); ++it) {
+    if (it->id == task_id) {
+      admitted_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 double AdmissionController::current_utilization() const {
   if (admitted_.empty()) return 0.0;
   return utilization_test(admitted_, capacity_, 1.0).utilization;

@@ -95,6 +95,10 @@ class AdmissionController {
   /// decision was made elsewhere); load accounting stays accurate.
   void force_admit(const Task& task) { admitted_.push_back(task); }
 
+  /// Releases the capacity held by task `task_id` (stream retired or
+  /// re-placed elsewhere). Returns false when no admitted task has the id.
+  bool remove(int task_id);
+
   const std::vector<Task>& admitted() const { return admitted_; }
   double current_utilization() const;
 

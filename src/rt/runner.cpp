@@ -4,59 +4,95 @@
 
 namespace sgprs::rt {
 
-Runner::Runner(sim::Engine& engine, Scheduler& scheduler,
-               const std::vector<Task>& tasks, RunnerConfig cfg)
+Runner::Runner(sim::Engine& engine, Scheduler& scheduler, RunnerConfig cfg)
     : engine_(engine),
       scheduler_(scheduler),
-      tasks_(tasks),
       cfg_(cfg),
       jitter_rng_(cfg.jitter_seed) {
   SGPRS_CHECK(cfg_.duration > SimTime::zero());
   SGPRS_CHECK(cfg_.release_jitter >= SimTime::zero());
+}
+
+Runner::Runner(sim::Engine& engine, Scheduler& scheduler,
+               const std::vector<Task>& tasks, RunnerConfig cfg)
+    : Runner(engine, scheduler, cfg) {
+  for (const auto& t : tasks) admit_checked(t);
+}
+
+void Runner::admit_checked(const Task& t) {
   // Jitter must not reorder a task's releases: bound it by the shortest
-  // guaranteed inter-arrival gap in the set (the period, or a sporadic
-  // task's effective minimum separation).
-  for (const auto& t : tasks_) {
-    const SimTime min_gap =
-        t.arrival == ArrivalModel::kSporadic &&
-                t.min_separation > SimTime::zero()
-            ? t.min_separation
-            : t.period;
-    SGPRS_CHECK_MSG(cfg_.release_jitter < min_gap ||
-                        cfg_.release_jitter == SimTime::zero(),
-                    "release jitter must stay below every task's minimum "
-                    "inter-arrival gap");
-    if (t.arrival == ArrivalModel::kSporadic) {
-      // Compare against the *effective* minimum so a max below the
-      // defaulted min (the period) is rejected, not silently dropped.
-      SGPRS_CHECK_MSG(t.max_separation == SimTime::zero() ||
-                          min_gap <= t.max_separation,
-                      "sporadic min_separation must not exceed "
-                      "max_separation for task " << t.name);
-      // Seed per task so the draw sequence is a function of (seed, task id)
-      // alone, never of how other tasks' events interleave.
-      sporadic_rngs_.emplace(
-          t.id, common::Rng(cfg_.jitter_seed +
-                            0x9e3779b97f4a7c15ULL *
-                                (static_cast<std::uint64_t>(t.id) + 1)));
-    }
-    scheduler_.admit(t);
+  // guaranteed inter-arrival gap (the period, or a sporadic task's
+  // effective minimum separation).
+  const SimTime min_gap =
+      t.arrival == ArrivalModel::kSporadic && t.min_separation > SimTime::zero()
+          ? t.min_separation
+          : t.period;
+  SGPRS_CHECK_MSG(cfg_.release_jitter < min_gap ||
+                      cfg_.release_jitter == SimTime::zero(),
+                  "release jitter must stay below every task's minimum "
+                  "inter-arrival gap");
+  for (const auto& ts : states_) {
+    SGPRS_CHECK_MSG(ts.task->id != t.id,
+                    "duplicate task id " << t.id << " admitted to runner");
+  }
+  TaskState ts;
+  ts.task = &t;
+  if (t.arrival == ArrivalModel::kSporadic) {
+    // Compare against the *effective* minimum so a max below the
+    // defaulted min (the period) is rejected, not silently dropped.
+    SGPRS_CHECK_MSG(t.max_separation == SimTime::zero() ||
+                        min_gap <= t.max_separation,
+                    "sporadic min_separation must not exceed "
+                    "max_separation for task " << t.name);
+    // Seed per task so the draw sequence is a function of (seed, task id)
+    // alone — never of admission order or event interleaving.
+    ts.arrival_rng.reseed(cfg_.jitter_seed +
+                          0x9e3779b97f4a7c15ULL *
+                              (static_cast<std::uint64_t>(t.id) + 1));
+  }
+  scheduler_.admit(t);
+  states_.push_back(std::move(ts));
+  ++active_;
+}
+
+void Runner::add_task(const Task& task) {
+  admit_checked(task);
+  if (started_) {
+    arm_release(states_.size() - 1, engine_.now() + task.phase);
   }
 }
 
-SimTime Runner::next_interarrival(const Task& task) {
+bool Runner::retire_task(int task_id) {
+  for (auto& ts : states_) {
+    if (ts.task->id != task_id) continue;
+    if (!ts.active) return false;
+    ts.active = false;
+    --active_;
+    if (ts.pending != sim::kInvalidEvent) {
+      engine_.cancel(ts.pending);  // stale-safe: generation-tagged
+      ts.pending = sim::kInvalidEvent;
+    }
+    return true;
+  }
+  return false;
+}
+
+SimTime Runner::next_interarrival(TaskState& ts) {
+  const Task& task = *ts.task;
   if (task.arrival == ArrivalModel::kPeriodic) return task.period;
   const SimTime lo = task.min_separation > SimTime::zero()
                          ? task.min_separation
                          : task.period;
   const SimTime hi = task.max_separation > lo ? task.max_separation : lo;
   if (hi == lo) return lo;
-  auto& rng = sporadic_rngs_.at(task.id);
   return lo + SimTime::from_ns(static_cast<std::int64_t>(
-                  rng.next_double() * static_cast<double>((hi - lo).ns)));
+                  ts.arrival_rng.next_double() *
+                  static_cast<double>((hi - lo).ns)));
 }
 
-void Runner::arm_release(const Task& task, SimTime at) {
+void Runner::arm_release(std::size_t idx, SimTime at) {
+  TaskState& ts = states_[idx];
+  ts.pending = sim::kInvalidEvent;
   if (at >= cfg_.duration) return;  // stop releasing at the horizon
   SimTime fire = at;
   if (cfg_.release_jitter > SimTime::zero()) {
@@ -64,15 +100,22 @@ void Runner::arm_release(const Task& task, SimTime at) {
                               cfg_.release_jitter.to_sec());
     if (fire >= cfg_.duration) fire = at;  // keep the final release inside
   }
-  engine_.schedule_at(fire, [this, &task, at, fire] {
+  ts.pending = engine_.schedule_at(fire, [this, idx, at, fire] {
+    TaskState& s = states_[idx];
+    s.pending = sim::kInvalidEvent;
+    if (!s.active) return;  // retired between schedule and fire
     ++releases_;
-    scheduler_.release_job(task, fire);
-    arm_release(task, at + next_interarrival(task));
+    scheduler_.release_job(*s.task, fire);
+    arm_release(idx, at + next_interarrival(s));
   });
 }
 
 void Runner::start() {
-  for (const auto& t : tasks_) arm_release(t, t.phase);
+  SGPRS_CHECK_MSG(!started_, "Runner::start() called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    arm_release(i, states_[i].task->phase);
+  }
 }
 
 void Runner::run() {

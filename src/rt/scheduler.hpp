@@ -28,6 +28,11 @@ class Scheduler {
   virtual int jobs_in_flight() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// The scheduler that actually owns queues and jobs. Decorators (the
+  /// fleet overload guard) forward to the wrapped instance so counter
+  /// introspection (dynamic_cast to SgprsScheduler) keeps working.
+  virtual const Scheduler* unwrap() const { return this; }
 };
 
 }  // namespace sgprs::rt

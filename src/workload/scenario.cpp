@@ -12,11 +12,9 @@
 
 namespace sgprs::workload {
 
-namespace {
-
 /// Pool shape for one device. The naive baseline gets one stream per
 /// context and no over-subscription (it is pure spatial partitioning).
-gpu::ContextPoolConfig make_pool_config(const ScenarioConfig& cfg) {
+gpu::ContextPoolConfig pool_config_for(const ScenarioConfig& cfg) {
   gpu::ContextPoolConfig pool_cfg;
   pool_cfg.num_contexts = cfg.num_contexts;
   if (cfg.scheduler == SchedulerKind::kSgprs) {
@@ -31,6 +29,8 @@ gpu::ContextPoolConfig make_pool_config(const ScenarioConfig& cfg) {
   }
   return pool_cfg;
 }
+
+namespace {
 
 /// Offline phase: one shared network + WCET profile at every distinct SM
 /// size, cloned per task with seeded phase jitter. Identical rng
@@ -109,7 +109,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg,
   sim::Engine engine;
   gpu::Executor exec(engine, cfg.device, gpu::SpeedupModel::rtx2080ti(),
                      cfg.sharing);
-  gpu::ContextPool pool(exec, make_pool_config(cfg));
+  gpu::ContextPool pool(exec, pool_config_for(cfg));
 
   // Profile at every distinct SM size in the (possibly heterogeneous) pool.
   std::vector<int> pool_sizes;
@@ -171,7 +171,7 @@ ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg,
   ccfg.placement = cfg.placement;
   ccfg.admission_margin = cfg.admission_margin;
   ccfg.scheduler = cfg.scheduler;
-  ccfg.pool = make_pool_config(cfg);
+  ccfg.pool = pool_config_for(cfg);
   ccfg.sgprs = cfg.sgprs;
   ccfg.naive = cfg.naive;
   ccfg.sharing = cfg.sharing;

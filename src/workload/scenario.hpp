@@ -90,6 +90,11 @@ struct ScenarioResult {
   double dmr() const { return aggregate.dmr; }
 };
 
+/// Context-pool shape one device of this config gets (the naive baseline
+/// is clamped to pure spatial partitioning: one stream per context, no
+/// over-subscription). Shared by the single-GPU, cluster and fleet paths.
+gpu::ContextPoolConfig pool_config_for(const ScenarioConfig& cfg);
+
 /// Checks every ScenarioConfig invariant in one place (task counts, rates,
 /// pool shape, oversubscription >= 1, fleet size, admission margin, sim
 /// window) and throws common::CheckError with a message naming the bad

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
+#include "fleet/runtime.hpp"
 #include "workload/spec_util.hpp"
 #include "workload/taskset.hpp"
 
@@ -153,7 +154,7 @@ TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
   check_keys(v,
              {"name", "count", "network", "fps", "stages", "deadline_ms",
               "phase_ms", "priority", "arrival", "min_separation_ms",
-              "max_separation_ms"},
+              "max_separation_ms", "tier"},
              path);
   TaskEntrySpec e;
   e.name = str_or(v, "name", e.name, path);
@@ -171,6 +172,7 @@ TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
       num_or(v, "min_separation_ms", e.min_separation_ms, path);
   e.max_separation_ms =
       num_or(v, "max_separation_ms", e.max_separation_ms, path);
+  e.tier = int_or(v, "tier", e.tier, path);
   // For sporadic tasks fps is only a shorthand for min_separation =
   // 1000/fps; stating both invites silent disagreement, so reject it.
   if (e.arrival == rt::ArrivalModel::kSporadic && v.find("fps") &&
@@ -222,7 +224,8 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
   require_object(root, path);
   check_keys(root,
              {"name", "description", "scheduler", "device", "pool", "sim",
-              "sgprs", "naive", "tasks", "generator", "fleet", "experiment"},
+              "sgprs", "naive", "tasks", "generator", "fleet", "experiment",
+              "timeline", "fleet_policy"},
              path);
   if (!skip_experiment_section && root.find("experiment")) {
     bad(path + ".experiment",
@@ -281,6 +284,13 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
   if (const JsonValue* generator = root.find("generator")) {
     spec.generator = parse_generator(*generator, path + ".generator");
   }
+  if (const JsonValue* timeline = root.find("timeline")) {
+    spec.timeline = fleet::parse_timeline(*timeline, path + ".timeline");
+  }
+  if (const JsonValue* policy = root.find("fleet_policy")) {
+    spec.fleet_policy =
+        fleet::parse_fleet_policy(*policy, path + ".fleet_policy");
+  }
   return spec;
 }
 
@@ -297,8 +307,12 @@ void validate(const ScenarioSpec& spec) {
     throw SpecError("spec: \"tasks\" and \"generator\" are mutually "
                     "exclusive — pick one");
   }
-  if (!spec.generator && spec.tasks.empty()) {
-    throw SpecError("spec: needs a \"tasks\" array or a \"generator\"");
+  // A timeline with templates can populate the run entirely through churn,
+  // so dynamic specs may start with an empty world.
+  const bool churn_only = spec.timeline && !spec.timeline->templates.empty();
+  if (!spec.generator && spec.tasks.empty() && !churn_only) {
+    throw SpecError("spec: needs a \"tasks\" array, a \"generator\", or a "
+                    "\"timeline\" with templates");
   }
 
   for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
@@ -322,6 +336,14 @@ void validate(const ScenarioSpec& spec) {
     } else if (e.min_separation_ms != 0.0 || e.max_separation_ms != 0.0) {
       bad(path, "separations only apply to arrival=sporadic");
     }
+    if (e.tier < 0) bad(path + ".tier", "must be >= 0");
+  }
+
+  if (spec.timeline) {
+    fleet::validate_timeline(*spec.timeline, "spec.timeline");
+  }
+  if (spec.fleet_policy) {
+    fleet::validate_fleet_policy(*spec.fleet_policy, "spec.fleet_policy");
   }
 
   if (spec.generator) {
@@ -350,6 +372,7 @@ void validate(const ScenarioSpec& spec) {
 }
 
 bool is_simple_spec(const ScenarioSpec& spec) {
+  if (spec.dynamic()) return false;
   if (spec.generator || spec.tasks.size() != 1) return false;
   const auto& e = spec.tasks.front();
   return e.arrival == rt::ArrivalModel::kPeriodic && e.phase_ms < 0.0 &&
@@ -464,6 +487,16 @@ SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
   SpecResult result;
   result.name = spec.name;
   result.fleet = spec.fleet_mode;
+  // Open-world specs (timeline / fleet_policy) run in the fleet runtime;
+  // everything else keeps its closed-world path untouched.
+  if (spec.dynamic()) {
+    result.dynamic = true;
+    RunSeeds seeds;
+    seeds.sim = sim_seed;
+    seeds.generator = generator_seed;
+    result.dyn = fleet::run_fleet_scenario(spec, seeds);
+    return result;
+  }
   // Simple specs run through the default identical-task builder — the
   // exact code path of the hard-coded benches, so results are
   // bit-identical (pinned by spec_test).
@@ -486,12 +519,31 @@ SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
 }  // namespace
 
 TaskSetBuilder task_builder_for(const ScenarioSpec& spec) {
-  const std::uint64_t generator_seed =
-      spec.generator ? spec.generator->seed : 0;
+  return task_builder_for(spec,
+                          spec.generator ? spec.generator->seed : 0);
+}
+
+TaskSetBuilder task_builder_for(const ScenarioSpec& spec,
+                                std::uint64_t generator_seed) {
   return [spec, generator_seed](const ScenarioConfig& cfg,
                                 const std::vector<int>& pool_sizes) {
     return build_spec_tasks(spec, generator_seed, cfg, pool_sizes);
   };
+}
+
+const TaskEntrySpec* task_entry_for(const ScenarioSpec& spec,
+                                    int task_index) {
+  int next = 0;
+  for (const auto& e : spec.tasks) {
+    if (task_index < next + e.count) return &e;
+    next += e.count;
+  }
+  return nullptr;  // generator-built, or out of range
+}
+
+int task_tier_for(const ScenarioSpec& spec, int task_index) {
+  const TaskEntrySpec* e = task_entry_for(spec, task_index);
+  return e ? e->tier : 0;
 }
 
 SpecResult run_spec(const ScenarioSpec& spec) {

@@ -12,33 +12,17 @@
 #pragma once
 
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "fleet/policy.hpp"
+#include "fleet/report.hpp"
+#include "fleet/timeline.hpp"
 #include "workload/scenario.hpp"
+#include "workload/spec_error.hpp"
 
 namespace sgprs::workload {
-
-/// Semantic spec error (unknown field, bad value, missing section). The
-/// message names the offending field path, e.g. "tasks[2].fps: must be > 0".
-/// When constructed with an explicit path, path() exposes it structurally so
-/// report writers (suite CSV/JSON error rows) can emit a field_path column
-/// instead of making consumers re-parse the message.
-class SpecError : public std::runtime_error {
- public:
-  explicit SpecError(const std::string& msg) : std::runtime_error(msg) {}
-  SpecError(const std::string& path, const std::string& msg)
-      : std::runtime_error(path + ": " + msg), path_(path) {}
-
-  /// Offending field path ("spec.tasks[2].fps"); empty when the error is
-  /// not tied to a single field.
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
 
 /// One task entry: `count` replicas of a (network, rate, stages, arrival)
 /// combination. Times are milliseconds in the JSON schema because frame
@@ -59,6 +43,10 @@ struct TaskEntrySpec {
   /// 1.5 * min. Admission treats 1/min_separation as the worst-case rate.
   double min_separation_ms = 0.0;
   double max_separation_ms = 0.0;
+  /// Overload shed tier (fleet runs only): 0 = protected from
+  /// priority-aware load shedding. Initial task entries default to 0;
+  /// timeline templates default to 1.
+  int tier = 0;
 };
 
 /// UUniFast task-set generator (workload/taskset.hpp), for capacity
@@ -87,6 +75,16 @@ struct ScenarioSpec {
   /// True when the spec has a "fleet" section: the run goes through the
   /// cluster path (placement + admission control) even with one device.
   bool fleet_mode = false;
+  /// Open-world sections (docs/online-fleet.md): a churn timeline and/or a
+  /// fleet control policy. Either routes the run through the fleet runtime
+  /// (src/fleet/); specs without them keep the closed-world paths
+  /// bit-identical.
+  std::optional<fleet::TimelineSpec> timeline;
+  std::optional<fleet::FleetPolicySpec> fleet_policy;
+
+  bool dynamic() const {
+    return timeline.has_value() || fleet_policy.has_value();
+  }
 };
 
 /// Parses a spec from a JSON document. Unknown keys are errors (typos must
@@ -121,22 +119,44 @@ ScenarioConfig lower(const ScenarioSpec& spec);
 /// builder owns a copy of the spec, so it outlives the argument.
 TaskSetBuilder task_builder_for(const ScenarioSpec& spec);
 
-/// Result of running one spec: exactly one of the two run paths was taken.
+/// Same, with the generator seed overridden (replication runs and the
+/// fleet runtime, which derives seeds without cloning the spec).
+TaskSetBuilder task_builder_for(const ScenarioSpec& spec,
+                                std::uint64_t generator_seed);
+
+/// The task entry that produced initial task index `i` (entry replicas
+/// expand in file order with sequential ids), or nullptr for
+/// generator-built tasks. The fleet runtime reads the entry's tier and
+/// name (churn retire targets match entry names exactly).
+const TaskEntrySpec* task_entry_for(const ScenarioSpec& spec,
+                                    int task_index);
+
+/// Shed tier of initial task index `i` (0 for generator tasks).
+int task_tier_for(const ScenarioSpec& spec, int task_index);
+
+/// Result of running one spec: exactly one of the three run paths was
+/// taken (single device, closed-world fleet, or the open-world fleet
+/// runtime).
 struct SpecResult {
   std::string name;
-  bool fleet = false;
-  ScenarioResult single;          // valid when !fleet
-  ClusterScenarioResult cluster;  // valid when fleet
+  bool fleet = false;    // closed-world cluster path
+  bool dynamic = false;  // open-world fleet runtime (wins over `fleet`)
+  ScenarioResult single;           // valid when !fleet && !dynamic
+  ClusterScenarioResult cluster;   // valid when fleet
+  fleet::FleetRunResult dyn;       // valid when dynamic
 
   const metrics::Snapshot& aggregate() const {
+    if (dynamic) return dyn.fleet.fleet;
     return fleet ? cluster.fleet.fleet : single.aggregate;
   }
   double fps() const { return aggregate().fps; }
   double dmr() const { return aggregate().dmr; }
   std::int64_t releases() const {
+    if (dynamic) return dyn.releases;
     return fleet ? cluster.releases : single.releases;
   }
   std::int64_t migrations() const {
+    if (dynamic) return dyn.stage_migrations;
     return fleet ? cluster.stage_migrations : single.stage_migrations;
   }
 };

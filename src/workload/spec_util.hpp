@@ -10,7 +10,7 @@
 #include <string>
 
 #include "common/json.hpp"
-#include "workload/spec.hpp"
+#include "workload/spec_error.hpp"
 
 namespace sgprs::workload::specdet {
 

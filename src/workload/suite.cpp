@@ -11,22 +11,28 @@ namespace sgprs::workload {
 
 namespace fs = std::filesystem;
 
-std::vector<SuiteRun> run_suite(const std::string& dir) {
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    throw SpecError("suite: not a directory: " + dir);
-  }
-
+std::vector<std::string> list_spec_files(const std::string& dir) {
   std::vector<std::string> files;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return files;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.is_regular_file() && entry.path().extension() == ".json") {
       files.push_back(entry.path().string());
     }
   }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<SuiteRun> run_suite(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw SpecError("suite: not a directory: " + dir);
+  }
+  const std::vector<std::string> files = list_spec_files(dir);
   if (files.empty()) {
     throw SpecError("suite: no .json scenario specs in " + dir);
   }
-  std::sort(files.begin(), files.end());
 
   std::vector<SuiteRun> runs;
   runs.reserve(files.size());
@@ -59,6 +65,11 @@ bool suite_ok(const std::vector<SuiteRun>& runs) {
 namespace {
 
 std::string placed_cell(const SuiteRun& r) {
+  if (r.result.dynamic) {
+    const auto& d = r.result.dyn;
+    return std::to_string(d.streams_admitted) + "/" +
+           std::to_string(d.streams_admitted + d.streams_rejected);
+  }
   if (!r.result.fleet) return std::to_string(r.result.single.per_task.size());
   const auto& fleet = r.result.cluster.fleet;
   return std::to_string(fleet.tasks_assigned) + "/" +
@@ -66,19 +77,37 @@ std::string placed_cell(const SuiteRun& r) {
 }
 
 int device_count(const SuiteRun& r) {
+  if (r.result.dynamic) {
+    return static_cast<int>(r.result.dyn.fleet.devices.size());
+  }
   return r.result.fleet
              ? static_cast<int>(r.result.cluster.fleet.devices.size())
              : 1;
+}
+
+/// Dynamic-run columns; "-" for closed-world scenarios so static rows stay
+/// visually quiet.
+std::string peak_devices_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.peak_devices) : "-";
+}
+std::string rejected_streams_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.streams_rejected)
+                          : "-";
+}
+std::string shed_jobs_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.jobs_shed) : "-";
 }
 
 }  // namespace
 
 void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
   metrics::Table t({"scenario", "tasks", "devs", "FPS", "on-time", "DMR",
-                    "p99 (ms)", "migr", "status"});
+                    "p99 (ms)", "migr", "peak devs", "rej streams", "shed",
+                    "status"});
   for (const auto& r : runs) {
     if (!r.ok) {
-      t.add_row({r.scenario, "-", "-", "-", "-", "-", "-", "-", "FAILED"});
+      t.add_row({r.scenario, "-", "-", "-", "-", "-", "-", "-", "-", "-",
+                 "-", "FAILED"});
       continue;
     }
     const auto& a = r.result.aggregate();
@@ -87,7 +116,8 @@ void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
                metrics::Table::fmt(a.fps_on_time, 1),
                metrics::Table::pct(a.dmr),
                metrics::Table::fmt(a.p99_latency_ms, 2),
-               std::to_string(r.result.migrations()), "ok"});
+               std::to_string(r.result.migrations()), peak_devices_cell(r),
+               rejected_streams_cell(r), shed_jobs_cell(r), "ok"});
   }
   t.print(out);
   for (const auto& r : runs) {
@@ -99,14 +129,16 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
   common::CsvWriter csv(out);
   csv.header({"scenario", "file", "status", "tasks", "devices", "fps",
               "fps_on_time", "dmr", "p50_ms", "p99_ms", "releases",
-              "migrations", "field_path", "error"});
+              "migrations", "peak_devices", "rejected_streams", "shed_jobs",
+              "field_path", "error"});
   for (const auto& r : runs) {
     if (!r.ok) {
       csv.row({r.scenario, r.file, "failed", "", "", "", "", "", "", "", "",
-               "", r.field_path, r.error});
+               "", "", "", "", r.field_path, r.error});
       continue;
     }
     const auto& a = r.result.aggregate();
+    const bool dyn = r.result.dynamic;
     csv.row({r.scenario, r.file, "ok", placed_cell(r),
              std::to_string(device_count(r)),
              common::CsvWriter::num(a.fps, 2),
@@ -115,7 +147,10 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
              common::CsvWriter::num(a.p50_latency_ms, 3),
              common::CsvWriter::num(a.p99_latency_ms, 3),
              std::to_string(r.result.releases()),
-             std::to_string(r.result.migrations()), "", ""});
+             std::to_string(r.result.migrations()),
+             dyn ? std::to_string(r.result.dyn.peak_devices) : "",
+             dyn ? std::to_string(r.result.dyn.streams_rejected) : "",
+             dyn ? std::to_string(r.result.dyn.jobs_shed) : "", "", ""});
   }
 }
 
@@ -139,8 +174,18 @@ void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
     }
     const auto& a = r.result.aggregate();
     w.field("fleet", r.result.fleet);
+    w.field("dynamic", r.result.dynamic);
     w.field("devices", static_cast<std::int64_t>(device_count(r)));
-    if (r.result.fleet) {
+    if (r.result.dynamic) {
+      const auto& d = r.result.dyn;
+      w.field("streams_admitted", d.streams_admitted);
+      w.field("streams_retired", d.streams_retired);
+      w.field("streams_rejected", d.streams_rejected);
+      w.field("jobs_shed", d.jobs_shed);
+      w.field("peak_devices", static_cast<std::int64_t>(d.peak_devices));
+      w.field("scale_ups", static_cast<std::int64_t>(d.scale_ups));
+      w.field("scale_downs", static_cast<std::int64_t>(d.scale_downs));
+    } else if (r.result.fleet) {
       w.field("tasks_placed",
               static_cast<std::int64_t>(r.result.cluster.fleet.tasks_assigned));
       w.field("tasks_rejected",

@@ -29,6 +29,12 @@ struct SuiteRun {
   SpecResult result;       // valid when ok
 };
 
+/// The *.json spec files in `dir`, sorted by filename; empty when the
+/// directory does not exist. Shared by the suite runner and the CLI's
+/// --list-scenarios / "did you mean" suggestions, so they can never
+/// disagree about what counts as a spec.
+std::vector<std::string> list_spec_files(const std::string& dir);
+
 /// Runs every *.json file in `dir`, sorted by filename. Throws SpecError
 /// when the directory does not exist or holds no specs.
 std::vector<SuiteRun> run_suite(const std::string& dir);

@@ -52,6 +52,54 @@ TEST_F(SuiteTest, RunsEverySpecInFilenameOrder) {
   }
 }
 
+TEST_F(SuiteTest, DynamicSpecFillsTimeSeriesColumns) {
+  write_spec("dyn.json", R"({
+    "description": "tiny churn run",
+    "pool": { "contexts": 2 },
+    "sim": { "duration_s": 0.6, "warmup_s": 0.1 },
+    "fleet": { "devices": 1, "admission_margin": 0.9 },
+    "tasks": [ { "name": "cam", "count": 2, "network": "lenet5",
+                 "fps": 30, "stages": 3 } ],
+    "timeline": {
+      "templates": [ { "name": "x", "network": "lenet5", "fps": 30,
+                       "stages": 3 } ],
+      "events": [ { "at_s": 0.2, "admit": "x", "count": 2 },
+                  { "at_s": 0.4, "retire": "x", "count": 1 } ]
+    }
+  })");
+
+  const auto runs = run_suite(dir_.string());
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_TRUE(runs[0].ok) << runs[0].error;
+  EXPECT_TRUE(runs[0].result.dynamic);
+  EXPECT_EQ(runs[0].result.dyn.streams_admitted, 4);
+  EXPECT_EQ(runs[0].result.dyn.streams_retired, 1);
+
+  std::ostringstream csv;
+  write_suite_csv(runs, csv);
+  std::istringstream lines(csv.str());
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  EXPECT_NE(header.find(",peak_devices,rejected_streams,shed_jobs,"),
+            std::string::npos)
+      << header;
+  // peak_devices=1, rejected=0, shed=0 for this tiny world.
+  EXPECT_NE(row.find(",1,0,0,,"), std::string::npos) << row;
+
+  std::ostringstream json;
+  write_suite_json(runs, json);
+  const auto doc = common::parse_json(json.str());
+  const auto& rec = doc.at("scenarios").items()[0];
+  EXPECT_TRUE(rec.at("dynamic").as_bool());
+  EXPECT_EQ(rec.at("streams_admitted").as_int(), 4);
+  EXPECT_EQ(rec.at("peak_devices").as_int(), 1);
+
+  std::ostringstream table;
+  print_suite(runs, table);
+  EXPECT_NE(table.str().find("peak devs"), std::string::npos);
+}
+
 TEST_F(SuiteTest, FailingSpecBecomesErrorRowNotAbort) {
   write_spec("a_good.json", kGood);
   write_spec("b_broken.json", R"({ "tasks": [ { "fps": -5 } ] })");

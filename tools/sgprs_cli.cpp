@@ -12,13 +12,17 @@
 //   sgprs_cli --suite=scenarios --report=suite_report
 //   sgprs_cli --experiment=scenarios/experiments/dmr_vs_utilization.json \
 //             --jobs=4 --report=experiment_report
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "common/csv.hpp"
 #include "common/flags.hpp"
 #include "common/thread_pool.hpp"
+#include "fleet/report.hpp"
 #include "metrics/report.hpp"
+#include "metrics/timeseries.hpp"
 #include "workload/experiment.hpp"
 #include "workload/scenario.hpp"
 #include "workload/suite.hpp"
@@ -26,6 +30,75 @@
 namespace {
 
 using namespace sgprs;
+namespace fs = std::filesystem;
+
+/// Classic Levenshtein distance, for "did you mean" scenario suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// A missing --scenario/--experiment path gets nearby candidates from its
+/// directory (or scenarios/) instead of a bare "no such file".
+void suggest_near(const std::string& path) {
+  const fs::path p(path);
+  std::string dir = p.parent_path().string();
+  if (dir.empty() || !fs::is_directory(dir)) dir = "scenarios";
+  const std::string stem = p.stem().string();
+  auto files = workload::list_spec_files(dir);
+  if (files.empty()) return;
+  std::stable_sort(files.begin(), files.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return edit_distance(stem, fs::path(a).stem().string()) <
+                            edit_distance(stem, fs::path(b).stem().string());
+                   });
+  std::cerr << "no spec at " << path << " — did you mean:\n";
+  for (std::size_t i = 0; i < files.size() && i < 3; ++i) {
+    std::cerr << "  " << files[i] << "\n";
+  }
+}
+
+/// --list-scenarios: enumerate every spec in a directory with its kind and
+/// description, without running anything.
+int list_scenarios(const std::string& dir) {
+  const auto files = workload::list_spec_files(dir);
+  if (files.empty()) {
+    std::cerr << "no .json scenario specs in " << dir << "\n";
+    return 1;
+  }
+  metrics::Table t({"file", "name", "kind", "description"});
+  for (const auto& file : files) {
+    const std::string stem = fs::path(file).stem().string();
+    try {
+      const auto root = common::parse_json_file(file);
+      const bool experiment = root.find("experiment") != nullptr;
+      const auto spec = workload::parse_scenario_spec(
+          root, stem, /*skip_experiment_section=*/experiment);
+      std::string kind = "scenario";
+      if (experiment) {
+        kind = "experiment";
+      } else if (spec.dynamic()) {
+        kind = "dynamic";
+      } else if (spec.fleet_mode) {
+        kind = "fleet";
+      }
+      t.add_row({file, spec.name, kind, spec.description});
+    } catch (const std::exception& e) {
+      t.add_row({file, stem, "invalid", e.what()});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
 
 /// Per-device breakdown plus the fleet rollup row.
 void print_fleet(const workload::ClusterScenarioResult& r) {
@@ -77,18 +150,49 @@ void print_single(const std::string& scheduler, int tasks,
   t.print(std::cout);
 }
 
-/// --scenario=file.json: run one declarative spec.
-int run_scenario_file(const std::string& path) {
+/// --scenario=file.json: run one declarative spec. Dynamic (timeline /
+/// fleet_policy) runs print the fleet-run summary and, when --report is
+/// set, write <report>.json (full run incl. time series and audit) and
+/// <report>_series.csv.
+int run_scenario_file(const std::string& path, const std::string& report) {
+  if (!fs::exists(path)) {
+    std::cerr << "error: no such scenario spec: " << path << "\n";
+    suggest_near(path);
+    return 1;
+  }
   const auto spec = workload::load_scenario_spec(path);
   const auto r = workload::run_spec(spec);
   std::cout << "scenario " << spec.name;
   if (!spec.description.empty()) std::cout << " — " << spec.description;
   std::cout << "\n\n";
-  if (r.fleet) {
-    print_fleet(r.cluster);
+  if (r.dynamic) {
+    fleet::print_fleet_run(r.dyn, std::cout);
+    if (!report.empty()) {
+      const std::string json_path = report + ".json";
+      const std::string series_path = report + "_series.csv";
+      std::ofstream json(json_path);
+      std::ofstream series(series_path);
+      if (!json || !series) {
+        std::cerr << "cannot write " << (json ? series_path : json_path)
+                  << "\n";
+        return 1;
+      }
+      fleet::write_fleet_run_json(r.dyn, json);
+      metrics::write_timeseries_csv(r.dyn.series, series);
+      std::cout << "\nwrote " << json_path << " and " << series_path << "\n";
+    }
   } else {
-    print_single(rt::to_string(spec.base.scheduler),
-                 static_cast<int>(r.single.per_task.size()), r.single);
+    if (r.fleet) {
+      print_fleet(r.cluster);
+    } else {
+      print_single(rt::to_string(spec.base.scheduler),
+                   static_cast<int>(r.single.per_task.size()), r.single);
+    }
+    if (!report.empty()) {
+      std::cerr << "note: --report with --scenario only writes files for "
+                   "dynamic (timeline/fleet_policy) scenarios; nothing "
+                   "written\n";
+    }
   }
   return 0;
 }
@@ -143,10 +247,21 @@ int run_suite_dir(const std::string& dir, const std::string& report) {
 }
 
 int run(const common::FlagParser& flags) {
+  if (flags.get_bool("list-scenarios")) {
+    return list_scenarios(flags.has("suite") ? flags.get("suite")
+                                             : "scenarios");
+  }
   if (flags.has("scenario")) {
-    return run_scenario_file(flags.get("scenario"));
+    return run_scenario_file(flags.get("scenario"),
+                             flags.has("report") ? flags.get("report") : "");
   }
   if (flags.has("experiment")) {
+    if (!fs::exists(flags.get("experiment"))) {
+      std::cerr << "error: no such experiment spec: "
+                << flags.get("experiment") << "\n";
+      suggest_near(flags.get("experiment"));
+      return 1;
+    }
     // Distinct default prefix: an experiment must never silently overwrite
     // a suite_report.* pair from an earlier --suite run.
     return run_experiment_file(flags.get("experiment"), flags.get_int("jobs"),
@@ -313,6 +428,9 @@ int main(int argc, char** argv) {
                "run every .json spec in a directory and write a comparison "
                "report",
                "");
+  flags.define_bool("list-scenarios",
+                    "list the specs in scenarios/ (or the --suite dir) with "
+                    "their kind and description, without running them");
   flags.define("report",
                "report file prefix (writes <prefix>.csv and <prefix>.json; "
                "default suite_report for --suite, experiment_report for "
