@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.hpp"
 
@@ -92,6 +93,23 @@ JsonWriter& JsonWriter::value(double v) {
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_exact(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return *this;
+  }
+  // Shortest %.g form that survives a strtod round trip; 17 significant
+  // digits always do, most values need fewer.
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   out_ << buf;
   return *this;
 }

@@ -30,6 +30,15 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
 
+  /// Round-trip-exact double: shortest decimal form that parses back to the
+  /// same bits. value(double) prints %.9g, which is fine for reports but
+  /// lossy; formats that feed back into the engine (trace files) use this.
+  JsonWriter& value_exact(double v);
+  JsonWriter& field_exact(const std::string& k, double v) {
+    key(k);
+    return value_exact(v);
+  }
+
   /// key + scalar value in one call.
   template <typename T>
   JsonWriter& field(const std::string& k, const T& v) {

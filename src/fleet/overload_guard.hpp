@@ -27,7 +27,7 @@ struct OverloadState {
   std::vector<int> tier_by_task;
   std::int64_t jobs_shed = 0;
   std::vector<FleetDecision>* audit = nullptr;
-  std::int64_t* audit_dropped = nullptr;
+  std::int64_t* audit_truncated = nullptr;
 
   int tier(int task_id) const {
     return task_id < static_cast<int>(tier_by_task.size())
@@ -43,7 +43,7 @@ struct OverloadState {
   void record(FleetDecision d) {
     if (!audit) return;
     if (audit->size() >= FleetRunResult::kMaxDecisions) {
-      if (audit_dropped) ++*audit_dropped;
+      if (audit_truncated) ++*audit_truncated;
       return;
     }
     audit->push_back(std::move(d));

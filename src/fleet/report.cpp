@@ -41,6 +41,11 @@ void print_fleet_run(const FleetRunResult& r, std::ostream& out) {
   summary.add_row({"scale ups / downs", std::to_string(r.scale_ups) + " / " +
                                             std::to_string(r.scale_downs)});
   summary.add_row({"migrations", std::to_string(r.stage_migrations)});
+  if (r.truncated_decisions > 0) {
+    summary.add_row({"audit decisions truncated",
+                     std::to_string(r.truncated_decisions) + " (kept " +
+                         std::to_string(r.decisions.size()) + ")"});
+  }
   summary.print(out);
 
   out << "\n";
@@ -79,7 +84,7 @@ void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
   w.field("scale_ups", r.scale_ups);
   w.field("scale_downs", r.scale_downs);
   w.field("decisions", static_cast<std::int64_t>(r.decisions.size()));
-  w.field("decisions_dropped", r.decisions_dropped);
+  w.field("truncated_decisions", r.truncated_decisions);
 
   w.key("devices").begin_array();
   for (const auto& d : r.fleet.devices) {

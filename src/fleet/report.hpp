@@ -67,9 +67,12 @@ struct FleetRunResult {
   int scale_ups = 0;
   int scale_downs = 0;
 
-  /// Audit trail, capped at kMaxDecisions (then decisions_dropped counts).
+  /// Audit trail, capped at kMaxDecisions. Decisions past the cap are not
+  /// stored but are *counted*: truncated_decisions appears in both the
+  /// printed summary and the JSON report, so a capped trail is never
+  /// mistaken for a complete one.
   std::vector<FleetDecision> decisions;
-  std::int64_t decisions_dropped = 0;
+  std::int64_t truncated_decisions = 0;
   static constexpr std::size_t kMaxDecisions = 10000;
 
   double fps() const { return fleet.fleet.fps; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "cluster/cluster.hpp"
 #include "common/check.hpp"
@@ -13,6 +14,7 @@
 #include "fleet/overload_guard.hpp"
 #include "gpu/device.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace sgprs::fleet {
 
@@ -37,11 +39,13 @@ struct LiveStream {
 
 class FleetRuntime {
  public:
-  FleetRuntime(const ScenarioSpec& spec, const workload::RunSeeds& seeds)
+  FleetRuntime(const ScenarioSpec& spec, const workload::RunSeeds& seeds,
+               trace::TraceRecorder* capture)
       : spec_(spec),
         cfg_(workload::lower(spec)),
         policy_(spec.fleet_policy ? *spec.fleet_policy : FleetPolicySpec{}),
-        timeline_(spec.timeline ? *spec.timeline : TimelineSpec{}) {
+        timeline_(spec.timeline ? *spec.timeline : TimelineSpec{}),
+        capture_(capture) {
     cfg_.seed = seeds.sim;
     workload::validate(cfg_);
     generator_seed_ = seeds.generator;
@@ -56,11 +60,14 @@ class FleetRuntime {
     overload_.cfg = policy_.overload;
     overload_.collector = collector_.get();
     overload_.audit = &result_.decisions;
-    overload_.audit_dropped = &result_.decisions_dropped;
+    overload_.audit_truncated = &result_.truncated_decisions;
 
     build_cluster();
     build_prototypes();
     place_initial_tasks();
+    if (capture_) {
+      capture_->set_templates(effective_templates());
+    }
     start();
   }
 
@@ -111,11 +118,19 @@ class FleetRuntime {
     }
   }
 
+  /// Replaying a trace swaps the timeline's own template set for the one
+  /// recorded in the trace file (a trace-driven timeline has no templates
+  /// of its own — validated at parse time).
+  const std::vector<StreamTemplate>& effective_templates() const {
+    return timeline_.trace ? timeline_.trace->templates
+                           : timeline_.templates;
+  }
+
   /// One pre-profiled prototype task per template (plus a downgraded
   /// variant when QoS fps_scale is enabled): admissions clone, never
   /// profile.
   void build_prototypes() {
-    if (timeline_.templates.empty()) return;
+    if (effective_templates().empty()) return;
     dnn::Profiler profiler(cfg_.device, gpu::SpeedupModel::rtx2080ti(),
                            dnn::CostModel::calibrated());
     std::map<std::string, std::shared_ptr<const dnn::Network>> networks;
@@ -157,7 +172,7 @@ class FleetRuntime {
       }
       return proto;
     };
-    for (const auto& t : timeline_.templates) {
+    for (const auto& t : effective_templates()) {
       prototypes_[t.name] = build_proto(t, 1.0);
       if (policy_.overload.fps_scale < 1.0) {
         downgraded_[t.name] = build_proto(t, policy_.overload.fps_scale);
@@ -203,22 +218,38 @@ class FleetRuntime {
     cluster_->start(rcfg);
     peak_provisioned_ = provisioned_devices();
 
-    // Scripted events (every_s expands against the run horizon).
-    for (std::size_t i = 0; i < timeline_.events.size(); ++i) {
-      const TimelineEvent& e = timeline_.events[i];
-      if (e.every_s <= 0.0) {
-        schedule_event(SimTime::from_sec(e.at_s), i);
-        continue;
+    if (timeline_.trace) {
+      // Replay: the recorded admit/retire stream *is* the churn source.
+      // Events are scheduled here — in trace order, in the same start()
+      // slot the scripted events occupy — so equal-time events keep their
+      // recorded order through the engine's insertion-sequence tie-break.
+      // The horizon rule matches what capture could produce: scripted and
+      // arrival admits never fire at t == duration, recorded lifetime
+      // retires can, so only t > duration is skipped.
+      const auto& events = timeline_.trace->events;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const SimTime t = SimTime::from_ns(events[i].t_ns);
+        if (t > cfg_.duration) break;  // non-decreasing: nothing later fires
+        engine_.schedule_at(t, [this, i] { run_trace_event(i); });
       }
-      const double until =
-          e.until_s > 0.0 ? e.until_s : cfg_.duration.to_sec();
-      for (double t = e.from_s; t <= until; t += e.every_s) {
-        schedule_event(SimTime::from_sec(t), i);
+    } else {
+      // Scripted events (every_s expands against the run horizon).
+      for (std::size_t i = 0; i < timeline_.events.size(); ++i) {
+        const TimelineEvent& e = timeline_.events[i];
+        if (e.every_s <= 0.0) {
+          schedule_event(SimTime::from_sec(e.at_s), i);
+          continue;
+        }
+        const double until =
+            e.until_s > 0.0 ? e.until_s : cfg_.duration.to_sec();
+        for (double t = e.from_s; t <= until; t += e.every_s) {
+          schedule_event(SimTime::from_sec(t), i);
+        }
       }
-    }
-    // Stochastic arrival processes.
-    for (std::size_t i = 0; i < timeline_.arrivals.size(); ++i) {
-      arm_arrival(i, SimTime::from_sec(timeline_.arrivals[i].from_s));
+      // Stochastic arrival processes.
+      for (std::size_t i = 0; i < timeline_.arrivals.size(); ++i) {
+        arm_arrival(i, SimTime::from_sec(timeline_.arrivals[i].from_s));
+      }
     }
     // Control loops.
     if (autoscaler_) {
@@ -257,6 +288,32 @@ class FleetRuntime {
     }
   }
 
+  void run_trace_event(std::size_t index) {
+    const trace::TraceEvent& e = timeline_.trace->events[index];
+    const SimTime now = engine_.now();
+    if (e.kind == trace::TraceEvent::Kind::kAdmit) {
+      const StreamTemplate* t = nullptr;
+      for (const auto& cand : timeline_.trace->templates) {
+        if (cand.name == e.tmpl) {
+          t = &cand;
+          break;
+        }
+      }
+      SGPRS_CHECK(t != nullptr);  // validated at load time
+      // Admission is re-run, not replayed: on the recorded cluster the
+      // outcome (and the id burned) matches the original run exactly; on a
+      // scaled trace or different policy it may differ, which is the point
+      // of replaying against new configurations.
+      const int id = admit_stream(*t, now, e.source.c_str(), e.tier);
+      if (id >= 0) trace_ids_[e.id] = id;
+    } else {
+      const auto it = trace_ids_.find(e.id);
+      if (it == trace_ids_.end()) return;  // that admit was rejected here
+      retire_stream_by_id(it->second, DecisionKind::kStreamRetired,
+                          e.source.c_str());
+    }
+  }
+
   void arm_arrival(std::size_t index, SimTime from) {
     const ArrivalProcess& a = timeline_.arrivals[index];
     // Exponential inter-arrival gap (Poisson process), drawn in event
@@ -290,9 +347,18 @@ class FleetRuntime {
   /// Admits one stream: clone the prototype, place (admission test unless
   /// disabled), QoS-downgrade retry, then arm its releases. Returns the
   /// task id, or -1 when the stream was rejected.
+  ///
+  /// `tier_override >= 0` (synthesized traces) replaces the template tier.
+  /// The capture hook records the *attempt* before the outcome is known:
+  /// even a rejected admission consumed an id, and replay must burn the
+  /// same ids to stay byte-identical.
   int admit_stream(const StreamTemplate& tmpl, SimTime now,
-                   const char* source) {
+                   const char* source, int tier_override = -1) {
     const int id = next_task_id_++;
+    const int tier = tier_override >= 0 ? tier_override : tmpl.tier;
+    if (capture_) {
+      capture_->record_admit(now, tmpl.name, id, tier_override, source);
+    }
     rt::Task task = prototypes_.at(tmpl.name);
     task.id = id;
     task.name = tmpl.name + "-" + std::to_string(id);
@@ -315,8 +381,8 @@ class FleetRuntime {
       return -1;
     }
     const rt::Task& stored = cluster_->admit_task(*dev, std::move(task));
-    overload_.set_tier(id, tmpl.tier);
-    live_.push_back(LiveStream{id, &stored, *dev, now, tmpl.tier, tmpl.name});
+    overload_.set_tier(id, tier);
+    live_.push_back(LiveStream{id, &stored, *dev, now, tier, tmpl.name});
     ++result_.streams_admitted;
     if (downgraded) {
       ++result_.streams_downgraded;
@@ -354,6 +420,11 @@ class FleetRuntime {
                            });
     if (it == live_.end()) return false;  // already gone (double retire)
     const SimTime now = engine_.now();
+    // Churn retirements feed the capture; autoscaler drops (kStreamDropped)
+    // do not — they are consequences replay re-derives, not inputs.
+    if (capture_ && kind == DecisionKind::kStreamRetired) {
+      capture_->record_retire(now, id, detail);
+    }
     cluster_->retire_task(it->device, id);
     record({now, kind, id, it->device, detail});
     live_.erase(it);
@@ -586,6 +657,10 @@ class FleetRuntime {
 
   std::vector<LiveStream> live_;  // admission order
   int next_task_id_ = 0;
+  trace::TraceRecorder* capture_ = nullptr;
+  /// Replay: recorded id -> id this run assigned (identity on an exact
+  /// replay; diverges when a scaled trace meets admission rejections).
+  std::unordered_map<int, int> trace_ids_;
   std::vector<int> warming_;
   std::vector<int> draining_;
   SimTime last_scale_ = SimTime::from_ns(-1);
@@ -599,16 +674,22 @@ class FleetRuntime {
 }  // namespace
 
 FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,
-                                  const workload::RunSeeds& seeds) {
-  FleetRuntime runtime(spec, seeds);
+                                  const workload::RunSeeds& seeds,
+                                  trace::TraceRecorder* capture) {
+  FleetRuntime runtime(spec, seeds, capture);
   return runtime.run();
+}
+
+FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds) {
+  return run_fleet_scenario(spec, seeds, nullptr);
 }
 
 FleetRunResult run_fleet_scenario(const ScenarioSpec& spec) {
   workload::RunSeeds seeds;
   seeds.sim = spec.base.seed;
   seeds.generator = spec.generator ? spec.generator->seed : 0;
-  return run_fleet_scenario(spec, seeds);
+  return run_fleet_scenario(spec, seeds, nullptr);
 }
 
 }  // namespace sgprs::fleet

@@ -25,6 +25,10 @@
 #include "fleet/report.hpp"
 #include "workload/spec.hpp"
 
+namespace sgprs::trace {
+class TraceRecorder;
+}  // namespace sgprs::trace
+
 namespace sgprs::fleet {
 
 /// Runs one open-world spec (validated by the caller; run_spec and the
@@ -36,5 +40,13 @@ FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec);
 /// the task-generator seed.
 FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
                                   const workload::RunSeeds& seeds);
+
+/// Capture variant: when `capture` is non-null the runtime feeds it the
+/// run's admit/retire stream (trace::TraceRecorder, --record-trace).
+/// Recording never perturbs the run; replaying the captured trace against
+/// the same base spec reproduces the report byte for byte.
+FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds,
+                                  trace::TraceRecorder* capture);
 
 }  // namespace sgprs::fleet

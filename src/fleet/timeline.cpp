@@ -19,7 +19,10 @@ rt::PriorityPolicy parse_priority(const std::string& s,
                 "\" (want last_stage_high|all_low|all_high)");
 }
 
-StreamTemplate parse_template(const JsonValue& v, const std::string& path) {
+}  // namespace
+
+StreamTemplate parse_stream_template(const common::JsonValue& v,
+                                     const std::string& path) {
   require_object(v, path);
   check_keys(v,
              {"name", "network", "fps", "stages", "deadline_ms", "phase_ms",
@@ -50,6 +53,34 @@ StreamTemplate parse_template(const JsonValue& v, const std::string& path) {
   t.tier = int_or(v, "tier", t.tier, path);
   return t;
 }
+
+void validate_stream_template(const StreamTemplate& t,
+                              const std::string& path) {
+  if (t.fps <= 0.0) bad(path + ".fps", "must be > 0");
+  if (t.num_stages < 1) bad(path + ".stages", "must be >= 1");
+  if (t.deadline_ms < 0.0) bad(path + ".deadline_ms", "must be >= 0");
+  if (t.phase_ms < 0.0) bad(path + ".phase_ms", "must be >= 0");
+  if (t.tier < 0) bad(path + ".tier", "must be >= 0");
+  if (!dnn::network_builder_by_name(t.network)) {
+    bad(path + ".network", "unknown network \"" + t.network + "\" (want " +
+                               dnn::network_names() + ")");
+  }
+  if (t.arrival == rt::ArrivalModel::kSporadic) {
+    if (t.min_separation_ms < 0.0 || t.max_separation_ms < 0.0) {
+      bad(path, "separations must be >= 0");
+    }
+    const double min_ms =
+        t.min_separation_ms > 0.0 ? t.min_separation_ms : 1000.0 / t.fps;
+    if (t.max_separation_ms > 0.0 && t.max_separation_ms < min_ms) {
+      bad(path + ".max_separation_ms",
+          "must be >= the (possibly fps-derived) min separation");
+    }
+  } else if (t.min_separation_ms != 0.0 || t.max_separation_ms != 0.0) {
+    bad(path, "separations only apply to arrival=sporadic");
+  }
+}
+
+namespace {
 
 TimelineEvent parse_event(const JsonValue& v, const std::string& path) {
   require_object(v, path);
@@ -105,14 +136,18 @@ ArrivalProcess parse_arrival(const JsonValue& v, const std::string& path) {
 TimelineSpec parse_timeline(const common::JsonValue& v,
                             const std::string& path) {
   require_object(v, path);
-  check_keys(v, {"seed", "templates", "events", "arrivals"}, path);
+  check_keys(v, {"seed", "templates", "events", "arrivals", "trace"}, path);
   TimelineSpec spec;
   spec.seed = seed_or(v, "seed", spec.seed, path);
+  spec.trace_path = str_or(v, "trace", "", path);
+  if (v.find("trace") && spec.trace_path.empty()) {
+    bad(path + ".trace", "trace path must be non-empty");
+  }
   if (const JsonValue* templates = v.find("templates")) {
     const auto& items = get_field("templates", path,
                                   [&] { return templates->items(); });
     for (std::size_t i = 0; i < items.size(); ++i) {
-      spec.templates.push_back(parse_template(
+      spec.templates.push_back(parse_stream_template(
           items[i], path + ".templates[" + std::to_string(i) + "]"));
     }
   }
@@ -144,6 +179,13 @@ const StreamTemplate* find_template(const TimelineSpec& spec,
 }
 
 void validate_timeline(const TimelineSpec& spec, const std::string& path) {
+  if ((!spec.trace_path.empty() || spec.trace != nullptr) &&
+      (!spec.templates.empty() || !spec.events.empty() ||
+       !spec.arrivals.empty())) {
+    bad(path + ".trace",
+        "a trace-driven timeline replaces templates/events/arrivals; "
+        "remove the other sections");
+  }
   for (std::size_t i = 0; i < spec.templates.size(); ++i) {
     const auto& t = spec.templates[i];
     const std::string p = path + ".templates[" + std::to_string(i) + "]";
@@ -152,28 +194,7 @@ void validate_timeline(const TimelineSpec& spec, const std::string& path) {
         bad(p + ".name", "duplicate template \"" + t.name + "\"");
       }
     }
-    if (t.fps <= 0.0) bad(p + ".fps", "must be > 0");
-    if (t.num_stages < 1) bad(p + ".stages", "must be >= 1");
-    if (t.deadline_ms < 0.0) bad(p + ".deadline_ms", "must be >= 0");
-    if (t.phase_ms < 0.0) bad(p + ".phase_ms", "must be >= 0");
-    if (t.tier < 0) bad(p + ".tier", "must be >= 0");
-    if (!dnn::network_builder_by_name(t.network)) {
-      bad(p + ".network", "unknown network \"" + t.network + "\" (want " +
-                              dnn::network_names() + ")");
-    }
-    if (t.arrival == rt::ArrivalModel::kSporadic) {
-      if (t.min_separation_ms < 0.0 || t.max_separation_ms < 0.0) {
-        bad(p, "separations must be >= 0");
-      }
-      const double min_ms = t.min_separation_ms > 0.0 ? t.min_separation_ms
-                                                      : 1000.0 / t.fps;
-      if (t.max_separation_ms > 0.0 && t.max_separation_ms < min_ms) {
-        bad(p + ".max_separation_ms",
-            "must be >= the (possibly fps-derived) min separation");
-      }
-    } else if (t.min_separation_ms != 0.0 || t.max_separation_ms != 0.0) {
-      bad(p, "separations only apply to arrival=sporadic");
-    }
+    validate_stream_template(t, p);
   }
 
   for (std::size_t i = 0; i < spec.events.size(); ++i) {

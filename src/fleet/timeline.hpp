@@ -23,11 +23,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
 #include "rt/task.hpp"
+
+namespace sgprs::trace {
+struct Trace;
+}  // namespace sgprs::trace
 
 namespace sgprs::fleet {
 
@@ -90,6 +95,12 @@ struct TimelineSpec {
   /// Churn rng seed; the effective stream is mixed with the scenario sim
   /// seed so experiment replications decorrelate without spec edits.
   std::uint64_t seed = 1;
+  /// Trace-driven timeline: `"trace": "<file>"` replaces templates, events
+  /// and arrivals with the recorded admit/retire stream of a prior run.
+  /// `trace_path` is the spec-relative path as written; the loader resolves
+  /// it and attaches the parsed trace (see workload::resolve_spec_trace).
+  std::string trace_path;
+  std::shared_ptr<const trace::Trace> trace;
 };
 
 /// Parses a "timeline" section. Throws workload::SpecError with field paths.
@@ -99,6 +110,13 @@ TimelineSpec parse_timeline(const common::JsonValue& v,
 /// Semantic validation: unique template names, known event targets, rate
 /// and lifetime ranges. Network-name existence is checked here too.
 void validate_timeline(const TimelineSpec& spec, const std::string& path);
+
+/// One-template parse/validate, shared with the trace reader (a trace file
+/// carries the same template schema as a timeline).
+StreamTemplate parse_stream_template(const common::JsonValue& v,
+                                     const std::string& path);
+void validate_stream_template(const StreamTemplate& t,
+                              const std::string& path);
 
 const StreamTemplate* find_template(const TimelineSpec& spec,
                                     const std::string& name);

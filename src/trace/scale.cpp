@@ -1,0 +1,141 @@
+#include "trace/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/spec_error.hpp"
+
+namespace sgprs::trace {
+
+namespace {
+
+/// Fresh generator for one (stream, copy) pair: state mixes the seed with
+/// both indices through distinct odd multipliers, then splitmix64
+/// finalizes. Independent of generation order, so the output is a pure
+/// function of (trace, config).
+common::Rng rng_for(std::uint64_t seed, std::size_t stream, int copy) {
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(stream) + 1) +
+      0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(copy) + 1);
+  return common::Rng(common::splitmix64_next(state));
+}
+
+std::int64_t warp(std::int64_t t_ns, double time_warp) {
+  return std::llround(static_cast<double>(t_ns) * time_warp);
+}
+
+}  // namespace
+
+Trace scale_trace(const Trace& in, const TraceScaleConfig& cfg) {
+  using workload::SpecError;
+  if (!(cfg.time_warp > 0.0)) {
+    throw SpecError("scale.time_warp", "must be > 0");
+  }
+  if (cfg.clone < 1) throw SpecError("scale.clone", "must be >= 1");
+  if (!(cfg.rate > 0.0)) throw SpecError("scale.rate", "must be > 0");
+  if (cfg.jitter_ms < 0.0) throw SpecError("scale.jitter_ms", "must be >= 0");
+
+  // Group the recorded events into streams: one admit, at most one retire.
+  struct Stream {
+    std::size_t admit = 0;
+    std::ptrdiff_t retire = -1;
+  };
+  std::vector<Stream> streams;
+  std::unordered_map<int, std::size_t> stream_by_id;
+  for (std::size_t i = 0; i < in.events.size(); ++i) {
+    const TraceEvent& e = in.events[i];
+    if (e.kind == TraceEvent::Kind::kAdmit) {
+      stream_by_id[e.id] = streams.size();
+      streams.push_back({i, -1});
+    } else {
+      streams[stream_by_id.at(e.id)].retire =
+          static_cast<std::ptrdiff_t>(i);
+    }
+  }
+
+  // Generate the copies. Jitter shifts a copy's admit and retire by the
+  // same offset — lifetimes are part of the recorded shape and survive
+  // scaling; only arrival instants spread out.
+  struct Generated {
+    std::int64_t t_ns;
+    std::size_t orig;  // index of the source event in `in`
+    std::size_t stream;
+    int copy;
+    bool admit;
+  };
+  const double factor = static_cast<double>(cfg.clone) * cfg.rate;
+  const int whole = static_cast<int>(std::floor(factor));
+  const double frac = factor - static_cast<double>(whole);
+  std::vector<Generated> gen;
+  gen.reserve(in.events.size() *
+              static_cast<std::size_t>(std::ceil(factor)));
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    int copies = whole;
+    if (frac > 0.0 && rng_for(cfg.seed, s, 0).next_double() < frac) {
+      ++copies;
+    }
+    for (int c = 0; c < copies; ++c) {
+      std::int64_t delta = 0;
+      if (c > 0 && cfg.jitter_ms > 0.0) {
+        delta = std::llround(
+            rng_for(cfg.seed, s, c).uniform(0.0, cfg.jitter_ms) * 1e6);
+      }
+      const std::size_t admit_idx = streams[s].admit;
+      gen.push_back({warp(in.events[admit_idx].t_ns, cfg.time_warp) + delta,
+                     admit_idx, s, c, true});
+      if (streams[s].retire >= 0) {
+        const auto retire_idx =
+            static_cast<std::size_t>(streams[s].retire);
+        gen.push_back(
+            {warp(in.events[retire_idx].t_ns, cfg.time_warp) + delta,
+             retire_idx, s, c, false});
+      }
+    }
+  }
+
+  // Deterministic total order: time, then source-event order (an admit
+  // always precedes its own retire in the source), then copy index.
+  std::sort(gen.begin(), gen.end(),
+            [](const Generated& a, const Generated& b) {
+              if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+              if (a.orig != b.orig) return a.orig < b.orig;
+              return a.copy < b.copy;
+            });
+
+  Trace out;
+  out.name = in.name;
+  char desc[160];
+  std::snprintf(desc, sizeof(desc),
+                "scaled: clone=%d rate=%g time_warp=%g jitter_ms=%g seed=%llu",
+                cfg.clone, cfg.rate, cfg.time_warp, cfg.jitter_ms,
+                static_cast<unsigned long long>(cfg.seed));
+  out.description = in.description.empty()
+                        ? std::string(desc)
+                        : in.description + " | " + desc;
+  out.templates = in.templates;
+  out.events.reserve(gen.size());
+  // Renumber admit ids densely in the new order; retires follow their
+  // (stream, copy)'s admit.
+  std::map<std::pair<std::size_t, int>, int> new_id;
+  int next_id = 0;
+  for (const Generated& g : gen) {
+    TraceEvent e = in.events[g.orig];
+    e.t_ns = g.t_ns;
+    if (g.admit) {
+      e.id = next_id++;
+      new_id[{g.stream, g.copy}] = e.id;
+    } else {
+      e.id = new_id.at({g.stream, g.copy});
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace sgprs::trace

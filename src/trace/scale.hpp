@@ -1,0 +1,52 @@
+// Trace synthesis: scale a recorded workload up (or warp it in time)
+// without losing its empirical shape.
+//
+// A recorded trace is one day of one deployment. The scenarios worth
+// stress-testing are that day at 10-1000x tenants — same diurnal shape,
+// same burst structure, more of everything. scale_trace keeps each
+// recorded stream's template, admission instant and lifetime, and:
+//   * time-warp: multiplies every timestamp (warp < 1 compresses the day,
+//     so a 24h log replays in minutes at its original event *order*);
+//   * cloning / rate multiplication: replicates each recorded stream
+//     floor(f) times (f = clone * rate), plus one more with probability
+//     frac(f), each copy jittered by a seeded uniform offset so clones do
+//     not arrive in lockstep;
+//   * jitter preserves lifetimes: a copy's admit and retire shift
+//     together.
+//
+// Determinism: every random draw comes from a per-(stream, copy) rng
+// derived splitmix64-style from (seed, stream index, copy index) — output
+// is a pure function of (input trace, config), so a fixed seed is
+// bit-reproducible no matter how the work is ordered (pinned by
+// tests/trace/trace_scale_test.cpp and CI).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace sgprs::trace {
+
+struct TraceScaleConfig {
+  /// Timestamp multiplier (> 0): 0.1 replays the day 10x faster.
+  double time_warp = 1.0;
+  /// Whole-number tenant cloning (>= 1): every recorded stream appears
+  /// `clone` times.
+  int clone = 1;
+  /// Fractional load multiplier (> 0): composes with clone; the effective
+  /// per-stream copy count is clone * rate, fractional part drawn per
+  /// stream.
+  double rate = 1.0;
+  /// Max uniform admission offset for clones beyond the first, in
+  /// milliseconds of *post-warp* time (copy 0 keeps the recorded instant).
+  double jitter_ms = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Validates the config (throws workload::SpecError) and returns the
+/// scaled trace: events re-sorted by (time, source event, copy), admit ids
+/// renumbered densely in the new order, retires remapped to their admit's
+/// new id. The result always passes validate_trace.
+Trace scale_trace(const Trace& in, const TraceScaleConfig& cfg);
+
+}  // namespace sgprs::trace

@@ -1,0 +1,123 @@
+// Versioned workload traces: the record/replay layer of the simulator.
+//
+// A trace is the exact admit/retire stream of one run — a list of named
+// stream templates plus a time-ordered sequence of admission attempts and
+// retirements, each stamped with the audit source tag the fleet runtime
+// logged for it. Traces close the loop the synthetic generators cannot:
+//
+//   run --record-trace t.json   ->  t.json          (capture)
+//   run --trace t.json          ==  original run    (replay, byte-identical)
+//   trace_scale --clone=100     ->  scaled t.json   (synthesis)
+//
+// The determinism contract is strict: replaying a trace recorded from a
+// dynamic (fleet) run reproduces the original report byte for byte —
+// including the time series CSV and the per-decision audit trail. To make
+// that hold, the trace stores admission *attempts* (rejected admissions
+// consumed a task id in the original run, so replay must re-run admission
+// and burn the same ids), timestamps in integer nanoseconds, and template
+// doubles in round-trip-exact decimal form.
+//
+// Format (JSON, strict — unknown keys are errors, messages carry field
+// paths, syntax errors carry line/col via common::JsonError):
+//
+//   {
+//     "sgprs_trace": 1,                  // version tag, always first key
+//     "name": "...", "description": "...",
+//     "templates": [ { ...timeline template schema... } ],
+//     "events": [
+//       {"t_ns": N, "admit": "tmpl", "id": K, "source": "arrival"},
+//       {"t_ns": N, "retire": K, "source": "lifetime elapsed"}
+//     ]
+//   }
+//
+// docs/traces.md is the format reference.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+#include "fleet/timeline.hpp"
+
+namespace sgprs::trace {
+
+/// One recorded churn event. Exactly one of admit/retire per event; `id` is
+/// the task id the original run assigned (admission attempts consume ids
+/// even when rejected, so ids may be sparse among *live* streams but are
+/// unique and dense over attempts).
+struct TraceEvent {
+  enum class Kind { kAdmit, kRetire };
+  Kind kind = Kind::kAdmit;
+  std::int64_t t_ns = 0;
+  /// Admit: the id this attempt consumed. Retire: the id being retired.
+  int id = -1;
+  /// Admit only: the stream template to instantiate.
+  std::string tmpl;
+  /// Admit only: tier override; -1 = use the template tier (omitted in
+  /// JSON). Reserved for synthesized traces — capture records -1.
+  int tier = -1;
+  /// Audit source tag: admits carry "scripted"/"arrival"/"initial"/...;
+  /// retires carry the retirement detail ("scripted", "lifetime elapsed").
+  /// Replay passes it through so audit-trail bytes match the original run.
+  std::string source;
+};
+
+struct Trace {
+  static constexpr int kVersion = 1;
+  std::string name;
+  std::string description;
+  std::vector<fleet::StreamTemplate> templates;
+  /// Non-decreasing t_ns; equal-time events replay in list order.
+  std::vector<TraceEvent> events;
+
+  /// Timestamp of the last event (0 for an empty trace).
+  common::SimTime horizon() const;
+};
+
+/// Strict parse of an in-memory JSON document. Throws workload::SpecError
+/// with field paths; `default_name` fills `name` when absent.
+Trace parse_trace(const common::JsonValue& root,
+                  const std::string& default_name);
+
+/// parse_json_file + parse_trace + validate_trace. JSON syntax errors carry
+/// the path plus line/col.
+Trace load_trace(const std::string& path);
+
+/// Semantic validation: version tag, unique valid templates, admits
+/// reference known templates, ids unique per admit and previously admitted
+/// per retire, timestamps >= 0 and non-decreasing.
+void validate_trace(const Trace& trace);
+
+/// Canonical writer: fixed key order, exact doubles, one event per line.
+/// write(parse(write(t))) == write(t) byte for byte.
+void write_trace(const Trace& trace, std::ostream& out);
+void save_trace(const Trace& trace, const std::string& path);
+
+/// Cheap format sniff: does the file start with an object whose first key
+/// is "sgprs_trace"? Lets the CLI and suite runner tell trace data files
+/// from scenario specs without a full parse.
+bool sniff_trace_file(const std::string& path);
+
+/// Capture sink the fleet runtime (and the static cluster path) feeds.
+/// Recording is append-only and cannot perturb the run being recorded.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(std::string name, std::string description);
+
+  void set_templates(std::vector<fleet::StreamTemplate> templates);
+  void record_admit(common::SimTime t, const std::string& tmpl, int id,
+                    int tier_override, const std::string& source);
+  void record_retire(common::SimTime t, int id, const std::string& detail);
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace sgprs::trace

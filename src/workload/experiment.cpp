@@ -145,6 +145,9 @@ ExperimentSpec load_experiment_spec(const std::string& path) {
   const std::string stem = std::filesystem::path(path).stem().string();
   ExperimentSpec spec =
       parse_experiment_spec(common::parse_json_file(path), stem);
+  // A trace-driven base timeline loads its trace once here; every grid
+  // cell / replication then shares the attached immutable trace.
+  resolve_spec_trace(spec.base, path);
   validate(spec);
   return spec;
 }

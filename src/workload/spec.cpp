@@ -6,12 +6,14 @@
 #include <map>
 #include <memory>
 
+#include "cluster/cluster.hpp"
 #include "cluster/placement.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
 #include "fleet/runtime.hpp"
+#include "trace/trace.hpp"
 #include "workload/spec_util.hpp"
 #include "workload/taskset.hpp"
 
@@ -297,9 +299,30 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
 ScenarioSpec load_scenario_spec(const std::string& path) {
   // File stem ("scenarios/foo.json" -> "foo") names anonymous specs.
   const std::string stem = std::filesystem::path(path).stem().string();
-  ScenarioSpec spec = parse_scenario_spec(common::parse_json_file(path), stem);
+  const common::JsonValue root = common::parse_json_file(path);
+  if (root.is_object() && root.find("sgprs_trace")) {
+    throw SpecError(
+        "spec: \"" + path + "\" is a trace data file, not a scenario — "
+        "replay it with --trace, or reference it from a timeline "
+        "{\"trace\": ...}");
+  }
+  ScenarioSpec spec = parse_scenario_spec(root, stem);
+  resolve_spec_trace(spec, path);
   validate(spec);
   return spec;
+}
+
+void resolve_spec_trace(ScenarioSpec& spec, const std::string& spec_path) {
+  if (!spec.timeline || spec.timeline->trace_path.empty() ||
+      spec.timeline->trace) {
+    return;
+  }
+  std::filesystem::path p(spec.timeline->trace_path);
+  if (p.is_relative() && !spec_path.empty()) {
+    p = std::filesystem::path(spec_path).parent_path() / p;
+  }
+  spec.timeline->trace =
+      std::make_shared<const trace::Trace>(trace::load_trace(p.string()));
 }
 
 void validate(const ScenarioSpec& spec) {
@@ -307,12 +330,22 @@ void validate(const ScenarioSpec& spec) {
     throw SpecError("spec: \"tasks\" and \"generator\" are mutually "
                     "exclusive — pick one");
   }
-  // A timeline with templates can populate the run entirely through churn,
-  // so dynamic specs may start with an empty world.
-  const bool churn_only = spec.timeline && !spec.timeline->templates.empty();
+  // A timeline with templates — or a trace, which carries its own template
+  // set — can populate the run entirely through churn, so dynamic specs may
+  // start with an empty world.
+  const bool churn_only =
+      spec.timeline && (!spec.timeline->templates.empty() ||
+                        spec.timeline->trace != nullptr);
   if (!spec.generator && spec.tasks.empty() && !churn_only) {
     throw SpecError("spec: needs a \"tasks\" array, a \"generator\", or a "
                     "\"timeline\" with templates");
+  }
+  if (spec.timeline && !spec.timeline->trace_path.empty() &&
+      !spec.timeline->trace) {
+    throw SpecError("spec.timeline.trace",
+                    "trace \"" + spec.timeline->trace_path +
+                        "\" is not attached — load the spec through "
+                        "load_scenario_spec, or call resolve_spec_trace");
   }
 
   for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
@@ -477,10 +510,56 @@ std::vector<rt::Task> build_spec_tasks(const ScenarioSpec& spec,
   return tasks;
 }
 
+/// Static-path capture (--record-trace on a closed-world spec): the run's
+/// workload is its initial task set, so the trace is one template plus one
+/// t=0 admission per task. Approximate by design — replaying it goes
+/// through the fleet runtime, whose report format differs from the
+/// closed-world one — but it turns any static scenario into an open-world
+/// workload artifact (and a seed for trace_scale).
+void capture_static_run(const ScenarioSpec& spec,
+                        std::uint64_t generator_seed,
+                        const ScenarioConfig& cfg,
+                        trace::TraceRecorder& capture) {
+  const std::vector<int> pool_sizes = cluster::pool_sm_sizes_for(
+      cfg.device, pool_config_for(cfg), cfg.sharing);
+  const std::vector<rt::Task> tasks =
+      build_spec_tasks(spec, generator_seed, cfg, pool_sizes);
+
+  std::vector<fleet::StreamTemplate> templates;
+  templates.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    const TaskEntrySpec* e = task_entry_for(spec, t.id);
+    fleet::StreamTemplate st;
+    st.name = t.name;
+    st.network = t.network->name();
+    st.num_stages = static_cast<int>(t.stages.size());
+    st.deadline_ms = t.deadline.to_ms();
+    st.phase_ms = t.phase.to_ms();
+    st.priority_policy =
+        e ? e->priority_policy : rt::PriorityPolicy::kLastStageHigh;
+    st.tier = e ? e->tier : 0;
+    if (t.arrival == rt::ArrivalModel::kSporadic) {
+      st.arrival = rt::ArrivalModel::kSporadic;
+      st.fps = 1000.0 / t.min_separation.to_ms();
+      st.min_separation_ms = t.min_separation.to_ms();
+      st.max_separation_ms = t.max_separation.to_ms();
+    } else {
+      st.fps = 1000.0 / t.period.to_ms();
+    }
+    templates.push_back(std::move(st));
+  }
+  capture.set_templates(std::move(templates));
+  for (const auto& t : tasks) {
+    capture.record_admit(common::SimTime::zero(), t.name, t.id, -1,
+                         "initial");
+  }
+}
+
 /// Shared run path. The builder captures `spec` by reference — safe
 /// because it is only invoked synchronously inside the run_* call below.
 SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
-                         std::uint64_t generator_seed) {
+                         std::uint64_t generator_seed,
+                         trace::TraceRecorder* capture) {
   ScenarioConfig cfg = lower(spec);
   cfg.seed = sim_seed;
 
@@ -494,7 +573,7 @@ SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
     RunSeeds seeds;
     seeds.sim = sim_seed;
     seeds.generator = generator_seed;
-    result.dyn = fleet::run_fleet_scenario(spec, seeds);
+    result.dyn = fleet::run_fleet_scenario(spec, seeds, capture);
     return result;
   }
   // Simple specs run through the default identical-task builder — the
@@ -513,6 +592,7 @@ SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
   } else {
     result.single = run_scenario(cfg, builder);
   }
+  if (capture) capture_static_run(spec, generator_seed, cfg, *capture);
   return result;
 }
 
@@ -547,13 +627,23 @@ int task_tier_for(const ScenarioSpec& spec, int task_index) {
 }
 
 SpecResult run_spec(const ScenarioSpec& spec) {
+  return run_spec(spec, static_cast<trace::TraceRecorder*>(nullptr));
+}
+
+SpecResult run_spec(const ScenarioSpec& spec,
+                    trace::TraceRecorder* capture) {
   validate(spec);
   return run_spec_impl(spec, spec.base.seed,
-                       spec.generator ? spec.generator->seed : 0);
+                       spec.generator ? spec.generator->seed : 0, capture);
 }
 
 SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds) {
-  return run_spec_impl(spec, seeds.sim, seeds.generator);
+  return run_spec_impl(spec, seeds.sim, seeds.generator, nullptr);
+}
+
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
+                    trace::TraceRecorder* capture) {
+  return run_spec_impl(spec, seeds.sim, seeds.generator, capture);
 }
 
 }  // namespace sgprs::workload

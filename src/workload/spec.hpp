@@ -22,6 +22,10 @@
 #include "workload/scenario.hpp"
 #include "workload/spec_error.hpp"
 
+namespace sgprs::trace {
+class TraceRecorder;
+}  // namespace sgprs::trace
+
 namespace sgprs::workload {
 
 /// One task entry: `count` replicas of a (network, rate, stages, arrival)
@@ -97,8 +101,19 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
                                  const std::string& default_name,
                                  bool skip_experiment_section = false);
 
-/// Reads, parses and validates a .json spec file.
+/// Reads, parses and validates a .json spec file. A trace-driven timeline
+/// (`"timeline": {"trace": "..."}`) has its trace file loaded here too,
+/// resolved relative to the spec's directory. Passing a trace *data* file
+/// (one written by --record-trace / trace_scale) is rejected with a
+/// pointed error — those are replayed with --trace, not --scenario.
 ScenarioSpec load_scenario_spec(const std::string& path);
+
+/// Loads and attaches the trace a trace-driven timeline names:
+/// timeline->trace_path is resolved against `spec_path`'s directory (used
+/// verbatim when absolute or `spec_path` is empty), then trace::load_trace
+/// validates it. No-op when the spec has no trace path or the trace is
+/// already attached (specs built in memory set timeline->trace directly).
+void resolve_spec_trace(ScenarioSpec& spec, const std::string& spec_path);
 
 /// Semantic validation beyond parsing: entry counts, rates, separations,
 /// generator bounds, fleet shape. Throws SpecError with the field path.
@@ -178,5 +193,15 @@ struct RunSeeds {
 /// re-validation per job. Seeds are the only thing that varies between
 /// replications of a cell.
 SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds);
+
+/// Capture variants (--record-trace): when `capture` is non-null the run
+/// feeds it the admit/retire stream. Dynamic specs record their churn
+/// exactly (replaying the trace against the same base spec is
+/// byte-identical); closed-world specs record their initial task set as
+/// t=0 admissions, turning any static scenario into a replayable open-
+/// world workload (approximate: the closed-world report format differs).
+SpecResult run_spec(const ScenarioSpec& spec, trace::TraceRecorder* capture);
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
+                    trace::TraceRecorder* capture);
 
 }  // namespace sgprs::workload

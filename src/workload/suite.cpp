@@ -6,6 +6,7 @@
 #include "common/csv.hpp"
 #include "common/json_writer.hpp"
 #include "metrics/report.hpp"
+#include "trace/trace.hpp"
 
 namespace sgprs::workload {
 
@@ -37,6 +38,9 @@ std::vector<SuiteRun> run_suite(const std::string& dir) {
   std::vector<SuiteRun> runs;
   runs.reserve(files.size());
   for (const auto& file : files) {
+    // Trace *data* files (--record-trace output) live beside their replay
+    // specs; they are inputs to specs, not runnable scenarios.
+    if (trace::sniff_trace_file(file)) continue;
     SuiteRun run;
     run.file = file;
     run.scenario = fs::path(file).stem().string();

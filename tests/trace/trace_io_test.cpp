@@ -1,0 +1,196 @@
+// Trace format round-trip and strictness pins:
+//  * write -> parse -> write is byte-identical (canonical writer, exact
+//    doubles);
+//  * JSON syntax errors carry line/column;
+//  * semantic errors carry the field path (unknown keys, version tag,
+//    out-of-order timestamps, id misuse, unknown templates).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "trace/trace.hpp"
+#include "workload/spec_error.hpp"
+
+namespace sgprs::trace {
+namespace {
+
+std::string trace_bytes(const Trace& t) {
+  std::ostringstream os;
+  write_trace(t, os);
+  return os.str();
+}
+
+Trace sample_trace() {
+  Trace t;
+  t.name = "sample";
+  t.description = "writer/reader identity fixture";
+
+  fleet::StreamTemplate cam;
+  cam.name = "cam";
+  cam.fps = 29.97;  // not binary-representable: pins round-trip-exact doubles
+  cam.tier = 2;
+  t.templates.push_back(cam);
+
+  fleet::StreamTemplate sensor;
+  sensor.name = "sensor";
+  sensor.arrival = rt::ArrivalModel::kSporadic;
+  sensor.fps = 25.0;
+  sensor.min_separation_ms = 33.4;
+  sensor.max_separation_ms = 50.1;
+  t.templates.push_back(sensor);
+
+  TraceEvent a0;
+  a0.kind = TraceEvent::Kind::kAdmit;
+  a0.t_ns = 0;
+  a0.id = 0;
+  a0.tmpl = "cam";
+  a0.source = "initial";
+  t.events.push_back(a0);
+
+  TraceEvent a1;
+  a1.kind = TraceEvent::Kind::kAdmit;
+  a1.t_ns = 123456789;
+  a1.id = 1;
+  a1.tmpl = "sensor";
+  a1.tier = 0;  // explicit override survives the round trip
+  a1.source = "arrival";
+  t.events.push_back(a1);
+
+  TraceEvent r0;
+  r0.kind = TraceEvent::Kind::kRetire;
+  r0.t_ns = 500000000;
+  r0.id = 0;
+  r0.source = "lifetime elapsed";
+  t.events.push_back(r0);
+  return t;
+}
+
+TEST(TraceIoTest, WriteParseWriteIsByteIdentical) {
+  const Trace original = sample_trace();
+  validate_trace(original);
+
+  const std::string first = trace_bytes(original);
+  const Trace reread = parse_trace(common::parse_json(first), "fallback");
+  validate_trace(reread);
+
+  EXPECT_EQ(reread.name, "sample");
+  ASSERT_EQ(reread.templates.size(), 2u);
+  EXPECT_EQ(reread.templates[0].fps, 29.97);  // exact, not %.9g-rounded
+  ASSERT_EQ(reread.events.size(), 3u);
+  EXPECT_EQ(reread.events[1].tier, 0);
+  EXPECT_EQ(reread.events[2].source, "lifetime elapsed");
+
+  EXPECT_EQ(trace_bytes(reread), first);
+}
+
+TEST(TraceIoTest, SyntaxErrorCarriesLineAndColumn) {
+  const std::string broken =
+      "{\n\"sgprs_trace\":1,\n\"name\": oops\n}\n";
+  try {
+    common::parse_json(broken);
+    FAIL() << "expected JsonError";
+  } catch (const common::JsonError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+/// Parses + validates `json` expecting a SpecError; returns its field path
+/// and message for the caller to pin.
+struct Rejection {
+  std::string path;
+  std::string message;
+};
+
+Rejection reject(const std::string& json) {
+  try {
+    const Trace t = parse_trace(common::parse_json(json), "t");
+    validate_trace(t);
+  } catch (const workload::SpecError& e) {
+    return {e.path(), e.what()};
+  }
+  ADD_FAILURE() << "expected SpecError for: " << json;
+  return {};
+}
+
+const char* kHeader = R"("sgprs_trace":1,
+"templates":[{"name":"cam"}],)";
+
+std::string with_events(const std::string& events) {
+  return std::string("{") + kHeader + "\"events\":[" + events + "]}";
+}
+
+TEST(TraceIoTest, RejectsUnknownKeys) {
+  const auto r = reject(R"({"sgprs_trace":1,"bogus":2})");
+  EXPECT_NE(r.message.find("bogus"), std::string::npos) << r.message;
+}
+
+TEST(TraceIoTest, RejectsMissingOrWrongVersion) {
+  const auto missing = reject(R"({"name":"x"})");
+  EXPECT_NE(missing.message.find("sgprs_trace"), std::string::npos);
+  const auto wrong = reject(R"({"sgprs_trace":99})");
+  EXPECT_EQ(wrong.path, "trace.sgprs_trace");
+  EXPECT_NE(wrong.message.find("99"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsOutOfOrderTimestamps) {
+  const auto r = reject(with_events(
+      R"({"t_ns":5,"admit":"cam","id":0},{"t_ns":3,"retire":0})"));
+  EXPECT_EQ(r.path, "trace.events[1].t_ns");
+  EXPECT_NE(r.message.find("out of order"), std::string::npos) << r.message;
+}
+
+TEST(TraceIoTest, RejectsNegativeTimestamps) {
+  const auto r =
+      reject(with_events(R"({"t_ns":-1,"admit":"cam","id":0})"));
+  EXPECT_EQ(r.path, "trace.events[0].t_ns");
+}
+
+TEST(TraceIoTest, RejectsDuplicateAdmitId) {
+  const auto r = reject(with_events(
+      R"({"t_ns":0,"admit":"cam","id":4},{"t_ns":1,"admit":"cam","id":4})"));
+  EXPECT_EQ(r.path, "trace.events[1].id");
+}
+
+TEST(TraceIoTest, RejectsRetireOfUnknownOrRetiredId) {
+  const auto never = reject(with_events(R"({"t_ns":0,"retire":9})"));
+  EXPECT_EQ(never.path, "trace.events[0].retire");
+  EXPECT_NE(never.message.find("never admitted"), std::string::npos);
+
+  const auto twice = reject(with_events(
+      R"({"t_ns":0,"admit":"cam","id":0},{"t_ns":1,"retire":0},)"
+      R"({"t_ns":2,"retire":0})"));
+  EXPECT_EQ(twice.path, "trace.events[2].retire");
+  EXPECT_NE(twice.message.find("twice"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsUnknownTemplate) {
+  const auto r =
+      reject(with_events(R"({"t_ns":0,"admit":"ghost","id":0})"));
+  EXPECT_EQ(r.path, "trace.events[0].admit");
+  EXPECT_NE(r.message.find("ghost"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMalformedEvents) {
+  // Both admit and retire in one event.
+  const auto both = reject(with_events(
+      R"({"t_ns":0,"admit":"cam","id":0,"retire":0})"));
+  EXPECT_EQ(both.path, "trace.events[0]");
+  // Admit without the id it consumed.
+  const auto no_id = reject(with_events(R"({"t_ns":0,"admit":"cam"})"));
+  EXPECT_NE(no_id.message.find("id"), std::string::npos);
+  // Retire must not carry admit-only keys.
+  const auto tier = reject(with_events(
+      R"({"t_ns":0,"admit":"cam","id":0},{"t_ns":1,"retire":0,"tier":2})"));
+  EXPECT_NE(tier.message.find("tier"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsEmptyTemplates) {
+  const auto r = reject(R"({"sgprs_trace":1,"templates":[]})");
+  EXPECT_EQ(r.path, "trace.templates");
+}
+
+}  // namespace
+}  // namespace sgprs::trace

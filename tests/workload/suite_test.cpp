@@ -14,7 +14,11 @@ namespace fs = std::filesystem;
 class SuiteTest : public testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(testing::TempDir()) / "sgprs_suite_test";
+    // One directory per test case: ctest runs each case as its own process,
+    // so a shared path races under `ctest -j`.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(testing::TempDir()) /
+           (std::string("sgprs_suite_test_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

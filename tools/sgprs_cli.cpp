@@ -12,10 +12,13 @@
 //   sgprs_cli --suite=scenarios --report=suite_report
 //   sgprs_cli --experiment=scenarios/experiments/dmr_vs_utilization.json \
 //             --jobs=4 --report=experiment_report
+//   sgprs_cli --scenario=scenarios/flash_crowd.json --record-trace=day.json
+//   sgprs_cli --trace=day.json
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/csv.hpp"
 #include "common/flags.hpp"
@@ -23,8 +26,10 @@
 #include "fleet/report.hpp"
 #include "metrics/report.hpp"
 #include "metrics/timeseries.hpp"
+#include "trace/trace.hpp"
 #include "workload/experiment.hpp"
 #include "workload/scenario.hpp"
+#include "workload/spec.hpp"
 #include "workload/suite.hpp"
 
 namespace {
@@ -47,12 +52,15 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return prev[b.size()];
 }
 
-/// A missing --scenario/--experiment path gets nearby candidates from its
-/// directory (or scenarios/) instead of a bare "no such file".
-void suggest_near(const std::string& path) {
+/// A missing --scenario/--experiment/--trace path gets nearby candidates
+/// from its directory (or `fallback_dir`) instead of a bare "no such
+/// file". `what` names the thing in the message ("spec", "trace").
+void suggest_near(const std::string& path,
+                  const std::string& fallback_dir = "scenarios",
+                  const char* what = "spec") {
   const fs::path p(path);
   std::string dir = p.parent_path().string();
-  if (dir.empty() || !fs::is_directory(dir)) dir = "scenarios";
+  if (dir.empty() || !fs::is_directory(dir)) dir = fallback_dir;
   const std::string stem = p.stem().string();
   auto files = workload::list_spec_files(dir);
   if (files.empty()) return;
@@ -61,10 +69,58 @@ void suggest_near(const std::string& path) {
                      return edit_distance(stem, fs::path(a).stem().string()) <
                             edit_distance(stem, fs::path(b).stem().string());
                    });
-  std::cerr << "no spec at " << path << " — did you mean:\n";
+  std::cerr << "no " << what << " at " << path << " — did you mean:\n";
   for (std::size_t i = 0; i < files.size() && i < 3; ++i) {
     std::cerr << "  " << files[i] << "\n";
   }
+}
+
+/// A --record-trace path pointing into a missing directory gets nearby
+/// sibling directories suggested (same Levenshtein ranking as spec paths).
+void suggest_near_dir(const std::string& dir) {
+  const fs::path p(dir);
+  fs::path base = p.parent_path();
+  if (base.empty()) base = ".";
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return;
+  std::vector<std::string> dirs;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path().string());
+  }
+  if (dirs.empty()) return;
+  const std::string name = p.filename().string();
+  std::stable_sort(dirs.begin(), dirs.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return edit_distance(name,
+                                          fs::path(a).filename().string()) <
+                            edit_distance(name,
+                                          fs::path(b).filename().string());
+                   });
+  std::cerr << "did you mean:\n";
+  for (std::size_t i = 0; i < dirs.size() && i < 3; ++i) {
+    std::cerr << "  " << dirs[i] << "/" << "\n";
+  }
+}
+
+/// Opens the --record-trace output before the run burns any wall clock: a
+/// missing or unwritable directory must fail fast with a pointed error,
+/// not after the simulation finishes.
+bool open_record_trace(const std::string& path, std::ofstream& out) {
+  const fs::path parent = fs::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty() && !fs::is_directory(parent, ec)) {
+    std::cerr << "error: --record-trace: directory \"" << parent.string()
+              << "\" does not exist\n";
+    suggest_near_dir(parent.string());
+    return false;
+  }
+  out.open(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: --record-trace: cannot write \"" << path
+              << "\" (directory not writable?)\n";
+    return false;
+  }
+  return true;
 }
 
 /// --list-scenarios: enumerate every spec in a directory with its kind and
@@ -78,6 +134,18 @@ int list_scenarios(const std::string& dir) {
   metrics::Table t({"file", "name", "kind", "description"});
   for (const auto& file : files) {
     const std::string stem = fs::path(file).stem().string();
+    // Trace *data* files (--record-trace / trace_scale output) are inputs
+    // to replay specs, not runnable scenarios — label them as such.
+    if (trace::sniff_trace_file(file)) {
+      try {
+        const auto tr = trace::load_trace(file);
+        t.add_row({file, tr.name.empty() ? stem : tr.name, "trace-data",
+                   tr.description});
+      } catch (const std::exception& e) {
+        t.add_row({file, stem, "invalid", e.what()});
+      }
+      continue;
+    }
     try {
       const auto root = common::parse_json_file(file);
       const bool experiment = root.find("experiment") != nullptr;
@@ -86,6 +154,8 @@ int list_scenarios(const std::string& dir) {
       std::string kind = "scenario";
       if (experiment) {
         kind = "experiment";
+      } else if (spec.timeline && !spec.timeline->trace_path.empty()) {
+        kind = "trace";
       } else if (spec.dynamic()) {
         kind = "dynamic";
       } else if (spec.fleet_mode) {
@@ -150,18 +220,21 @@ void print_single(const std::string& scheduler, int tasks,
   t.print(std::cout);
 }
 
-/// --scenario=file.json: run one declarative spec. Dynamic (timeline /
-/// fleet_policy) runs print the fleet-run summary and, when --report is
-/// set, write <report>.json (full run incl. time series and audit) and
-/// <report>_series.csv.
-int run_scenario_file(const std::string& path, const std::string& report) {
-  if (!fs::exists(path)) {
-    std::cerr << "error: no such scenario spec: " << path << "\n";
-    suggest_near(path);
-    return 1;
+/// Shared tail of --scenario and --trace: run the (already validated)
+/// spec, optionally capturing a trace, print the summary, write report
+/// files, and flush the recorded trace last. `origin` names the input in
+/// the recorded trace's description.
+int run_loaded_spec(const workload::ScenarioSpec& spec,
+                    const std::string& origin, const std::string& report,
+                    const std::string& record_path) {
+  std::ofstream trace_out;
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (!record_path.empty()) {
+    if (!open_record_trace(record_path, trace_out)) return 1;
+    recorder = std::make_unique<trace::TraceRecorder>(
+        spec.name, "recorded from " + origin);
   }
-  const auto spec = workload::load_scenario_spec(path);
-  const auto r = workload::run_spec(spec);
+  const auto r = workload::run_spec(spec, recorder.get());
   std::cout << "scenario " << spec.name;
   if (!spec.description.empty()) std::cout << " — " << spec.description;
   std::cout << "\n\n";
@@ -194,7 +267,43 @@ int run_scenario_file(const std::string& path, const std::string& report) {
                    "written\n";
     }
   }
+  if (recorder) {
+    trace::write_trace(recorder->trace(), trace_out);
+    std::cout << "wrote trace " << record_path << " ("
+              << recorder->trace().events.size() << " events)\n";
+  }
   return 0;
+}
+
+/// --scenario=file.json: run one declarative spec. Dynamic (timeline /
+/// fleet_policy) runs print the fleet-run summary and, when --report is
+/// set, write <report>.json (full run incl. time series and audit) and
+/// <report>_series.csv. With --trace the spec's timeline is replaced by
+/// the trace (replay against the spec's base config); with --record-trace
+/// the run's admit/retire stream is written out.
+int run_scenario_file(const std::string& path, const std::string& report,
+                      const std::string& trace_path,
+                      const std::string& record_path) {
+  if (!fs::exists(path)) {
+    std::cerr << "error: no such scenario spec: " << path << "\n";
+    suggest_near(path);
+    return 1;
+  }
+  auto spec = workload::load_scenario_spec(path);
+  if (!trace_path.empty()) {
+    if (!fs::exists(trace_path)) {
+      std::cerr << "error: no such trace: " << trace_path << "\n";
+      suggest_near(trace_path, "scenarios/traces", "trace");
+      return 1;
+    }
+    fleet::TimelineSpec tl;
+    tl.trace_path = trace_path;
+    tl.trace = std::make_shared<const trace::Trace>(
+        trace::load_trace(trace_path));
+    spec.timeline = std::move(tl);
+    workload::validate(spec);
+  }
+  return run_loaded_spec(spec, path, report, record_path);
 }
 
 /// --experiment=file.json: expand the grid x replications, run on a worker
@@ -246,6 +355,102 @@ int run_suite_dir(const std::string& dir, const std::string& report) {
   return workload::suite_ok(runs) ? 0 : 1;
 }
 
+/// Fills `cfg` from the shared workload flags (scheduler, pool shape, sim
+/// window, devices, placement). Returns false — with the message already
+/// printed — on an unknown name. `fleet_mode` reports whether the flags
+/// force the cluster path.
+bool parse_base_config(const common::FlagParser& flags,
+                       workload::ScenarioConfig& cfg, bool& fleet_mode) {
+  const std::string sched = flags.get("scheduler");
+  if (const auto kind = rt::parse_scheduler_kind(sched)) {
+    cfg.scheduler = *kind;
+  } else {
+    std::cerr << "unknown --scheduler (want "
+              << rt::scheduler_kind_names() << "): " << sched << "\n";
+    return false;
+  }
+  cfg.num_contexts = flags.get_int("contexts");
+  cfg.oversubscription = flags.get_double("oversub");
+  cfg.num_tasks = flags.get_int("tasks");
+  cfg.fps = flags.get_double("fps");
+  cfg.num_stages = flags.get_int("stages");
+  cfg.duration = common::SimTime::from_sec(flags.get_double("duration"));
+  cfg.warmup = common::SimTime::from_sec(flags.get_double("warmup"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.sgprs.medium_boost = flags.get_bool("medium-boost");
+  cfg.sgprs.abort_hopeless = flags.get_bool("abort-hopeless");
+  cfg.sgprs.max_in_flight_per_task = flags.get_int("in-flight");
+  cfg.network_builder = dnn::network_builder_by_name(flags.get("network"));
+  if (!cfg.network_builder) {
+    std::cerr << "unknown --network (want " << dnn::network_names()
+              << "): " << flags.get("network") << "\n";
+    return false;
+  }
+
+  const auto fleet = cluster::parse_fleet(flags.get("devices"));
+  if (!fleet) {
+    std::cerr << "bad --devices (want a count or a comma list of "
+              << gpu::device_names() << "): " << flags.get("devices")
+              << "\n";
+    return false;
+  }
+  cfg.num_devices = static_cast<int>(fleet->size());
+  if (cfg.num_devices == 1) {
+    cfg.device = fleet->front();  // single-GPU path honours --devices=3090
+  } else {
+    cfg.fleet = *fleet;
+  }
+  // Placement/admission only exist on the cluster path; an explicit flag
+  // on a 1-device run routes there too (instead of being silently
+  // dropped), giving a one-device fleet with admission control.
+  fleet_mode = cfg.num_devices > 1 || flags.has("placement") ||
+               flags.has("admission-margin");
+  if (const auto policy =
+          cluster::parse_placement_policy(flags.get("placement"))) {
+    cfg.placement = *policy;
+  } else {
+    std::cerr << "unknown --placement (want "
+              << cluster::placement_policy_names()
+              << "): " << flags.get("placement") << "\n";
+    return false;
+  }
+  // Range checking (margin <= 1, oversub >= 1, ...) is centralized in
+  // workload::validate, called by the run functions.
+  cfg.admission_margin = flags.get_double("admission-margin");
+  return true;
+}
+
+/// --trace=file.json (no --scenario): replay a recorded trace against the
+/// base config the flags describe. The sim window defaults to the trace's
+/// horizon plus half a second of drain unless --duration is explicit.
+int run_trace_file(const std::string& path, const common::FlagParser& flags,
+                   const std::string& report,
+                   const std::string& record_path) {
+  if (!fs::exists(path)) {
+    std::cerr << "error: no such trace: " << path << "\n";
+    suggest_near(path, "scenarios/traces", "trace");
+    return 1;
+  }
+  auto tr = std::make_shared<const trace::Trace>(trace::load_trace(path));
+  workload::ScenarioSpec spec;
+  spec.name = tr->name.empty() ? fs::path(path).stem().string() : tr->name;
+  spec.description = tr->description;
+  bool fleet_mode = false;
+  if (!parse_base_config(flags, spec.base, fleet_mode)) return 1;
+  spec.base.num_tasks = 0;  // all load comes from the trace
+  spec.fleet_mode = true;
+  fleet::TimelineSpec tl;
+  tl.trace_path = path;
+  tl.trace = tr;
+  spec.timeline = std::move(tl);
+  if (!flags.has("duration")) {
+    spec.base.duration =
+        common::SimTime::from_ns(tr->horizon().ns + 500'000'000);
+  }
+  workload::validate(spec);
+  return run_loaded_spec(spec, path, report, record_path);
+}
+
 int run(const common::FlagParser& flags) {
   if (flags.get_bool("list-scenarios")) {
     return list_scenarios(flags.has("suite") ? flags.get("suite")
@@ -253,7 +458,18 @@ int run(const common::FlagParser& flags) {
   }
   if (flags.has("scenario")) {
     return run_scenario_file(flags.get("scenario"),
-                             flags.has("report") ? flags.get("report") : "");
+                             flags.has("report") ? flags.get("report") : "",
+                             flags.get("trace"), flags.get("record-trace"));
+  }
+  if (flags.has("trace")) {
+    return run_trace_file(flags.get("trace"), flags,
+                          flags.has("report") ? flags.get("report") : "",
+                          flags.get("record-trace"));
+  }
+  if (flags.has("record-trace")) {
+    std::cerr << "error: --record-trace needs --scenario or --trace to "
+                 "know what to run\n";
+    return 1;
   }
   if (flags.has("experiment")) {
     if (!fs::exists(flags.get("experiment"))) {
@@ -273,62 +489,9 @@ int run(const common::FlagParser& flags) {
   }
 
   workload::ScenarioConfig cfg;
+  bool fleet_mode = false;
+  if (!parse_base_config(flags, cfg, fleet_mode)) return 1;
   const std::string sched = flags.get("scheduler");
-  if (const auto kind = rt::parse_scheduler_kind(sched)) {
-    cfg.scheduler = *kind;
-  } else {
-    std::cerr << "unknown --scheduler (want "
-              << rt::scheduler_kind_names() << "): " << sched << "\n";
-    return 1;
-  }
-  cfg.num_contexts = flags.get_int("contexts");
-  cfg.oversubscription = flags.get_double("oversub");
-  cfg.num_tasks = flags.get_int("tasks");
-  cfg.fps = flags.get_double("fps");
-  cfg.num_stages = flags.get_int("stages");
-  cfg.duration = common::SimTime::from_sec(flags.get_double("duration"));
-  cfg.warmup = common::SimTime::from_sec(flags.get_double("warmup"));
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  cfg.sgprs.medium_boost = flags.get_bool("medium-boost");
-  cfg.sgprs.abort_hopeless = flags.get_bool("abort-hopeless");
-  cfg.sgprs.max_in_flight_per_task = flags.get_int("in-flight");
-  cfg.network_builder = dnn::network_builder_by_name(flags.get("network"));
-  if (!cfg.network_builder) {
-    std::cerr << "unknown --network (want " << dnn::network_names()
-              << "): " << flags.get("network") << "\n";
-    return 1;
-  }
-
-  const auto fleet = cluster::parse_fleet(flags.get("devices"));
-  if (!fleet) {
-    std::cerr << "bad --devices (want a count or a comma list of "
-              << gpu::device_names() << "): " << flags.get("devices")
-              << "\n";
-    return 1;
-  }
-  cfg.num_devices = static_cast<int>(fleet->size());
-  if (cfg.num_devices == 1) {
-    cfg.device = fleet->front();  // single-GPU path honours --devices=3090
-  } else {
-    cfg.fleet = *fleet;
-  }
-  // Placement/admission only exist on the cluster path; an explicit flag
-  // on a 1-device run routes there too (instead of being silently
-  // dropped), giving a one-device fleet with admission control.
-  const bool fleet_mode = cfg.num_devices > 1 || flags.has("placement") ||
-                          flags.has("admission-margin");
-  if (const auto policy =
-          cluster::parse_placement_policy(flags.get("placement"))) {
-    cfg.placement = *policy;
-  } else {
-    std::cerr << "unknown --placement (want "
-              << cluster::placement_policy_names()
-              << "): " << flags.get("placement") << "\n";
-    return 1;
-  }
-  // Range checking (margin <= 1, oversub >= 1, ...) is centralized in
-  // workload::validate, called by the run functions.
-  cfg.admission_margin = flags.get_double("admission-margin");
 
   int sweep_from = 0;
   int sweep_to = 0;
@@ -439,6 +602,15 @@ int main(int argc, char** argv) {
   flags.define("experiment",
                "run a Monte-Carlo experiment spec (docs/experiments.md): "
                "grid x seed replications with 95% CIs",
+               "");
+  flags.define("trace",
+               "replay a recorded trace (docs/traces.md): alone, against "
+               "the base-config flags; with --scenario, replaces that "
+               "spec's timeline",
+               "");
+  flags.define("record-trace",
+               "write the run's admit/retire stream as a trace file "
+               "(requires --scenario or --trace)",
                "");
   flags.define("jobs",
                "worker threads for --experiment (0 = all hardware threads; "
