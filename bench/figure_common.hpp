@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/json_writer.hpp"
 #include "metrics/report.hpp"
 #include "workload/scenario.hpp"
@@ -30,6 +31,43 @@ class BenchReport {
     metrics_.push_back(Metric{metric, value, unit});
   }
 
+  /// Folds metrics from an existing BENCH_<name>.json in `dir` into this
+  /// report, keeping them ahead of this run's metrics; a metric this run
+  /// re-added wins over the file's copy. Lets several bench binaries
+  /// cooperate on one report file (bench_fleet_churn and
+  /// bench_shard_scaling both feed BENCH_fleet.json) independent of run
+  /// order — call before write(). Schema v2, docs/benchmarks.md.
+  void merge_existing(const std::string& dir = ".") {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    if (!std::ifstream(path)) return;  // first writer: nothing to merge
+    common::JsonValue doc;
+    try {
+      doc = common::parse_json_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << "WARNING: not merging unparsable " << path << ": "
+                << e.what() << "\n";
+      return;
+    }
+    const common::JsonValue* metrics = doc.find("metrics");
+    if (!metrics || !metrics->is_array()) return;
+    std::vector<Metric> kept;
+    for (const auto& m : metrics->items()) {
+      const auto* name = m.find("name");
+      const auto* value = m.find("value");
+      const auto* unit = m.find("unit");
+      if (!name || !value || !unit) continue;
+      bool shadowed = false;
+      for (const auto& mine : metrics_) {
+        shadowed = shadowed || mine.name == name->as_string();
+      }
+      if (!shadowed) {
+        kept.push_back(
+            Metric{name->as_string(), value->as_number(), unit->as_string()});
+      }
+    }
+    metrics_.insert(metrics_.begin(), kept.begin(), kept.end());
+  }
+
   /// Writes BENCH_<name>.json into `dir` (default: the working directory,
   /// where CI picks the files up as artifacts). Returns the path written;
   /// exits nonzero if the file cannot be written — a silently missing
@@ -44,7 +82,7 @@ class BenchReport {
     common::JsonWriter w(out);
     w.begin_object();
     w.field("bench", name_);
-    w.field("schema_version", 1);
+    w.field("schema_version", 2);
     w.key("metrics").begin_array();
     for (const auto& m : metrics_) {
       w.begin_object();

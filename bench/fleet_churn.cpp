@@ -156,6 +156,9 @@ int main() {
   report.add("static_events_per_s", static_eps, "events/s");
   report.add("churn_vs_static_events_per_s_ratio", churn_eps / static_eps,
              "ratio");
+  // BENCH_fleet.json is shared with bench_shard_scaling: fold in whatever
+  // the other binary already wrote so run order does not matter.
+  report.merge_existing();
   report.write();
   return 0;
 }

@@ -41,18 +41,23 @@ Cluster::Cluster(sim::Engine& engine, metrics::Collector& collector,
 Cluster::Device Cluster::make_device(const gpu::DeviceSpec& spec, int index) {
   Device dev;
   dev.spec = spec;
+  // Sharded runtimes route each device's whole event/metrics surface
+  // (executor, runner, scheduler collector) onto its shard; the classic
+  // fleet shares the constructor's engine and collector.
+  sim::Engine& engine = engine_of(index);
+  metrics::Collector& collector = collector_of(index);
   dev.exec = std::make_unique<gpu::Executor>(
-      engine_, spec, gpu::SpeedupModel::rtx2080ti(), cfg_.sharing);
+      engine, spec, gpu::SpeedupModel::rtx2080ti(), cfg_.sharing);
   dev.pool = std::make_unique<gpu::ContextPool>(*dev.exec, cfg_.pool);
   std::unique_ptr<rt::Scheduler> scheduler;
   switch (cfg_.scheduler) {
     case rt::SchedulerKind::kSgprs:
       scheduler = std::make_unique<rt::SgprsScheduler>(
-          *dev.exec, *dev.pool, collector_, cfg_.sgprs);
+          *dev.exec, *dev.pool, collector, cfg_.sgprs);
       break;
     case rt::SchedulerKind::kNaive:
       scheduler = std::make_unique<rt::NaiveScheduler>(
-          *dev.exec, *dev.pool, collector_, cfg_.naive);
+          *dev.exec, *dev.pool, collector, cfg_.naive);
       break;
   }
   dev.scheduler = cfg_.wrap_scheduler
@@ -88,8 +93,8 @@ int Cluster::add_device(const gpu::DeviceSpec& spec, bool active) {
   Device& dev = devices_.back();
   placer_->add_device(placer_device_for(spec, dev), active);
   if (started_) {
-    dev.runner =
-        std::make_unique<rt::Runner>(engine_, *dev.scheduler, rcfg_);
+    dev.runner = std::make_unique<rt::Runner>(engine_of(index),
+                                              *dev.scheduler, rcfg_);
     dev.runner->start();
   }
   return index;
@@ -124,8 +129,10 @@ void Cluster::start(const rt::RunnerConfig& rcfg) {
   SGPRS_CHECK_MSG(!started_, "start() called twice");
   started_ = true;
   rcfg_ = rcfg;
-  for (auto& dev : devices_) {
-    dev.runner = std::make_unique<rt::Runner>(engine_, *dev.scheduler, rcfg);
+  for (int i = 0; i < num_devices(); ++i) {
+    Device& dev = devices_[i];
+    dev.runner =
+        std::make_unique<rt::Runner>(engine_of(i), *dev.scheduler, rcfg);
     for (const auto& t : dev.tasks) dev.runner->add_task(t);
     dev.runner->start();
   }
@@ -154,7 +161,9 @@ bool Cluster::retire_task(int i, int task_id, bool forget_metrics) {
   return true;
 }
 
-metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
+metrics::DeviceReport Cluster::device_report(
+    int i, SimTime end, const metrics::Collector* merged) const {
+  const metrics::Collector& collector = merged ? *merged : collector_;
   const Device& dev = devices_.at(i);
   metrics::DeviceReport report;
   report.device_index = i;
@@ -169,7 +178,7 @@ metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
     }
   }
   report.tasks_assigned = static_cast<int>(ids.size());
-  report.snapshot = collector_.aggregate_tasks(ids, end);
+  report.snapshot = collector.aggregate_tasks(ids, end);
   report.busy_sm_seconds = dev.exec->busy_sm_seconds();
   // busy_sm_seconds integrates *granted* SMs, and an over-subscribed pool
   // grants up to its allocation (> the physical device). Normalise by the
@@ -181,11 +190,12 @@ metrics::DeviceReport Cluster::device_report(int i, SimTime end) const {
   return report;
 }
 
-metrics::FleetReport Cluster::fleet_report(SimTime end) const {
+metrics::FleetReport Cluster::fleet_report(
+    SimTime end, const metrics::Collector* merged) const {
   std::vector<metrics::DeviceReport> reports;
   reports.reserve(devices_.size());
   for (int i = 0; i < num_devices(); ++i) {
-    reports.push_back(device_report(i, end));
+    reports.push_back(device_report(i, end, merged));
   }
   return metrics::roll_up(std::move(reports),
                           static_cast<int>(rejected_.size()));

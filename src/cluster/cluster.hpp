@@ -57,6 +57,14 @@ struct ClusterConfig {
   std::function<std::unique_ptr<rt::Scheduler>(
       std::unique_ptr<rt::Scheduler> inner, int device_index)>
       wrap_scheduler;
+  /// Sharded-runtime hooks (docs/sharding.md): route a device's executor,
+  /// runner and event calendar onto its shard's engine, and its metrics
+  /// onto a per-device collector reduced canonically at the end of the
+  /// run. Absent = every device shares the constructor's engine/collector
+  /// (the classic single-calendar fleet). Both must be stable for the
+  /// cluster's lifetime and consistent per index.
+  std::function<sim::Engine&(int device_index)> engine_for;
+  std::function<metrics::Collector&(int device_index)> collector_for;
 };
 
 /// Context SM sizes one device of `spec` would expose under `pool`,
@@ -137,9 +145,15 @@ class Cluster {
   }
 
   /// Per-device metrics over [collector.warmup(), end]; utilization over
-  /// the whole run [0, end].
-  metrics::DeviceReport device_report(int i, SimTime end) const;
-  metrics::FleetReport fleet_report(SimTime end) const;
+  /// the whole run [0, end]. `merged` overrides the collector the report
+  /// aggregates from — the sharded runtime passes its canonical cross-shard
+  /// reduction so a re-placed stream's whole history (which may span
+  /// shards) is attributed to its final home, exactly as the shared
+  /// collector attributes it on the classic path.
+  metrics::DeviceReport device_report(
+      int i, SimTime end, const metrics::Collector* merged = nullptr) const;
+  metrics::FleetReport fleet_report(
+      SimTime end, const metrics::Collector* merged = nullptr) const;
 
   std::int64_t releases_issued() const;
   /// Summed over SGPRS devices (0 for the naive fleet).
@@ -150,6 +164,12 @@ class Cluster {
   PlacerDevice placer_device_for(const gpu::DeviceSpec& spec,
                                  const Device& dev) const;
   Device make_device(const gpu::DeviceSpec& spec, int index);
+  sim::Engine& engine_of(int index) {
+    return cfg_.engine_for ? cfg_.engine_for(index) : engine_;
+  }
+  metrics::Collector& collector_of(int index) {
+    return cfg_.collector_for ? cfg_.collector_for(index) : collector_;
+  }
 
   sim::Engine& engine_;
   metrics::Collector& collector_;

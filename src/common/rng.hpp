@@ -23,6 +23,16 @@ inline std::uint64_t splitmix64_next(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Per-stream seed derivation: an affine golden-ratio mix of a base seed
+/// and a stream (task) index, fed to Rng::reseed which splitmix64-finalizes
+/// it. One definition site — the Runner's arrival rngs and the fleet
+/// sharding layer both use it, so the "seeds are a function of (seed, task
+/// id) alone, never of admission order" contract cannot drift.
+inline std::uint64_t stream_seed(std::uint64_t base, int stream_id) {
+  return base + 0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(stream_id) + 1);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }

@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
 #include "fleet/overload_guard.hpp"
+#include "fleet/sharding.hpp"
 #include "gpu/device.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
@@ -49,6 +54,17 @@ class FleetRuntime {
     cfg_.seed = seeds.sim;
     workload::validate(cfg_);
     generator_seed_ = seeds.generator;
+    shards_ = cfg_.shards;
+    if (sharded()) {
+      // One calendar per shard plus the control-plane calendar (engine_).
+      // Devices map onto shards by index (shard_of); the pool is sized to
+      // the shard count so every shard segment runs in one parallel wave.
+      shard_engines_.reserve(shards_);
+      for (int s = 0; s < shards_; ++s) {
+        shard_engines_.push_back(std::make_unique<sim::Engine>());
+      }
+      shard_pool_ = std::make_unique<common::ThreadPool>(shards_);
+    }
     // Churn rng: timeline seed mixed with the sim seed, so experiment
     // replications decorrelate while a fixed (spec, seeds) pair replays
     // byte-identically.
@@ -58,7 +74,6 @@ class FleetRuntime {
 
     collector_ = std::make_unique<metrics::Collector>(cfg_.warmup);
     overload_.cfg = policy_.overload;
-    overload_.collector = collector_.get();
     overload_.audit = &result_.decisions;
     overload_.audit_truncated = &result_.truncated_decisions;
 
@@ -72,12 +87,79 @@ class FleetRuntime {
   }
 
   FleetRunResult run() {
-    engine_.run_until(cfg_.duration);
+    if (sharded()) {
+      run_sharded();
+    } else {
+      engine_.run_until(cfg_.duration);
+    }
     finish();
     return std::move(result_);
   }
 
  private:
+  // --- sharded execution (docs/sharding.md) --------------------------
+
+  bool sharded() const { return shards_ > 1; }
+
+  /// The per-device collector a sharded run routes device `index`'s
+  /// metrics into (grown on demand; deque keeps addresses stable as the
+  /// autoscaler adds devices).
+  metrics::Collector& device_collector(int index) {
+    while (static_cast<int>(device_collectors_.size()) <= index) {
+      device_collectors_.emplace_back(cfg_.warmup);
+    }
+    return device_collectors_[index];
+  }
+
+  sim::Engine& shard_engine(int device_index) {
+    return *shard_engines_[shard_of(device_index, shards_)];
+  }
+
+  /// Epoch-barrier loop. Each iteration is one epoch: every shard engine
+  /// runs its device events up to the next control-plane instant (in
+  /// parallel on the pool), then the control engine runs that instant's
+  /// events serially. Control handlers schedule onto the paused shard
+  /// engines (admission release arming, retire cancels); those land in
+  /// each engine's staging buffer and are ingested by MinHeap::merge_from
+  /// when its shard resumes — the cross-shard handoff batch, ordered by
+  /// (epoch, source shard, per-shard schedule sequence).
+  void run_sharded() {
+    for (;;) {
+      const SimTime tc = engine_.next_event_time();
+      const bool has_control = tc <= cfg_.duration;
+      run_shards_until(has_control ? tc : cfg_.duration);
+      if (!has_control) break;
+      engine_.run_until(tc);
+    }
+    engine_.run_until(cfg_.duration);  // idle control calendar: advance now
+  }
+
+  void run_shards_until(SimTime t) {
+    std::vector<std::future<void>> joined;
+    joined.reserve(shard_engines_.size());
+    for (auto& eng : shard_engines_) {
+      sim::Engine* e = eng.get();
+      joined.push_back(shard_pool_->submit([e, t] { e->run_until(t); }));
+    }
+    for (auto& f : joined) f.get();  // barrier; propagates shard throws
+  }
+
+  /// Fleet-wide job counters: the shared collector's on the classic path,
+  /// the per-device sum on the sharded path (integer sums, so the total is
+  /// order- and shard-count-invariant).
+  metrics::TaskCounters total_counts() const {
+    if (!sharded()) return collector_->total_counts();
+    metrics::TaskCounters total;
+    for (const auto& col : device_collectors_) {
+      const metrics::TaskCounters c = col.total_counts();
+      total.released += c.released;
+      total.dropped += c.dropped;
+      total.on_time += c.on_time;
+      total.late += c.late;
+    }
+    return total;
+  }
+
   // --- setup ---------------------------------------------------------
 
   void build_cluster() {
@@ -95,9 +177,20 @@ class FleetRuntime {
     ccfg.sharing = cfg_.sharing;
     ccfg.wrap_scheduler = [this](std::unique_ptr<rt::Scheduler> inner,
                                  int device_index) {
+      DeviceOverload& dev = overload_.device(device_index);
+      dev.collector =
+          sharded() ? &device_collector(device_index) : collector_.get();
       return std::make_unique<OverloadGuard>(std::move(inner), device_index,
-                                             &overload_);
+                                             &overload_, &dev);
     };
+    if (sharded()) {
+      ccfg.engine_for = [this](int device_index) -> sim::Engine& {
+        return shard_engine(device_index);
+      };
+      ccfg.collector_for = [this](int device_index) -> metrics::Collector& {
+        return device_collector(device_index);
+      };
+    }
     cluster_ = std::make_unique<cluster::Cluster>(engine_, *collector_, ccfg);
 
     scale_spec_ = policy_.autoscaler.device.empty()
@@ -573,7 +666,7 @@ class FleetRuntime {
     // Counts only — a full aggregate() would merge and sort every latency
     // sample recorded so far just to throw the percentiles away, turning
     // per-window sampling quadratic in run length.
-    const metrics::TaskCounters c = collector_->total_counts();
+    const metrics::TaskCounters c = total_counts();
 
     metrics::TimeSample s;
     s.t = now;
@@ -607,7 +700,7 @@ class FleetRuntime {
                        ? static_cast<double>(s.completions) / win_s
                        : 0.0;
     s.streams_rejected_cum = result_.streams_rejected;
-    s.jobs_shed_cum = overload_.jobs_shed;
+    s.jobs_shed_cum = overload_.total_jobs_shed();
     result_.series.samples.push_back(s);
     prev_counts_ = c;
 
@@ -619,19 +712,34 @@ class FleetRuntime {
   void record(FleetDecision d) { overload_.record(std::move(d)); }
 
   void finish() {
+    overload_.flush_all();  // sheds after the last control decision
     result_.name = spec_.name;
-    result_.fleet = cluster_->fleet_report(cfg_.duration);
-    // The per-device rollup double-counts nothing (moved-away ids are
-    // forgotten at the source), but the exact fleet snapshot comes from
-    // the shared collector.
-    result_.fleet.fleet = collector_->aggregate(cfg_.duration);
+    if (sharded()) {
+      // Canonical cross-shard reduction: fold per-device collectors in
+      // device-index order into one collector, then report exactly as the
+      // classic path reports from its shared collector — so a re-placed
+      // stream's whole (possibly cross-shard) history is attributed to its
+      // final home and the sample multisets match byte for byte.
+      metrics::Collector merged(cfg_.warmup);
+      for (const auto& col : device_collectors_) merged.merge_from(col);
+      result_.fleet = cluster_->fleet_report(cfg_.duration, &merged);
+      result_.fleet.fleet = merged.aggregate(cfg_.duration);
+    } else {
+      result_.fleet = cluster_->fleet_report(cfg_.duration);
+      // The per-device rollup double-counts nothing (moved-away ids are
+      // forgotten at the source), but the exact fleet snapshot comes from
+      // the shared collector.
+      result_.fleet.fleet = collector_->aggregate(cfg_.duration);
+    }
     result_.fleet.tasks_rejected =
         static_cast<int>(result_.streams_rejected);
     result_.releases = cluster_->releases_issued();
     result_.stage_migrations = cluster_->stage_migrations();
     result_.medium_promotions = cluster_->medium_promotions();
-    result_.sim_events = static_cast<double>(engine_.processed_count());
-    result_.jobs_shed = overload_.jobs_shed;
+    std::size_t events = engine_.processed_count();
+    for (const auto& eng : shard_engines_) events += eng->processed_count();
+    result_.sim_events = static_cast<double>(events);
+    result_.jobs_shed = overload_.total_jobs_shed();
     result_.peak_devices =
         std::max(peak_provisioned_, provisioned_devices());
     result_.final_devices = cluster_->placer().active_devices();
@@ -643,8 +751,12 @@ class FleetRuntime {
   TimelineSpec timeline_;
   std::uint64_t generator_seed_ = 0;
 
-  sim::Engine engine_;
+  sim::Engine engine_;  // control plane (and, unsharded, every device)
   std::unique_ptr<metrics::Collector> collector_;
+  int shards_ = 1;
+  std::vector<std::unique_ptr<sim::Engine>> shard_engines_;
+  std::deque<metrics::Collector> device_collectors_;  // sharded runs only
+  std::unique_ptr<common::ThreadPool> shard_pool_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<AutoscalerPolicy> autoscaler_;
   OverloadState overload_;

@@ -16,10 +16,17 @@
 // Every run produces windowed time-series samples and an audit trail of
 // control decisions (fleet/report.hpp).
 //
-// Determinism: one engine, one churn rng consumed in event order, stream
-// rng seeds keyed on (seed, task id) — replays and parallel experiment
-// fan-outs of the same spec are byte-identical (pinned by
+// Determinism: one control-plane engine, one churn rng consumed in event
+// order, stream rng seeds keyed on (seed, task id) — replays and parallel
+// experiment fan-outs of the same spec are byte-identical (pinned by
 // tests/fleet/fleet_determinism_test.cpp).
+//
+// Sharding (sim.shards > 1, docs/sharding.md): devices are partitioned
+// onto per-shard engines (device_index % shards) that execute in parallel
+// between epoch barriers at control-plane instants; per-device collectors
+// are reduced canonically at the end of the run. Any shard count produces
+// byte-identical reports, series and traces (pinned by
+// tests/sim/shard_determinism_test.cpp).
 #pragma once
 
 #include "fleet/report.hpp"

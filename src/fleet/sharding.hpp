@@ -1,0 +1,60 @@
+// Deterministic fleet sharding: the partition function and seed-derivation
+// discipline behind the sharded parallel runtime (docs/sharding.md).
+//
+// The contract that makes `--shards N` byte-invariant is split across three
+// small rules, all centralized here so tests can pin them directly:
+//
+//  1. Partition: a device belongs to shard `device_index % num_shards`.
+//     The mapping is a pure function of (device index, shard count) — never
+//     of admission order, placement outcomes or thread scheduling — so the
+//     same spec shards identically on every run and every machine.
+//  2. Seeding: per-stream randomness stays *shard-blind*. Stream arrival
+//     rngs are keyed on (jitter seed, task id) via stream_seed() — the same
+//     derivation the Runner has always used — so moving a device to a
+//     different shard (by changing the shard count) cannot change a single
+//     draw. Shard-local seeds, when a future subsystem needs them, must go
+//     through shard_stream_seed(), whose splitmix64 finalization keeps the
+//     (shard, stream) seed space collision-free (pinned by the partition
+//     property test).
+//  3. Merge order: anything crossing shards (staged shed decisions, the
+//     collector reduction) is merged in canonical (epoch, source shard,
+//     per-shard sequence) order, never in thread completion order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace sgprs::fleet {
+
+/// Shard owning device `device_index` in an `num_shards`-way partition.
+/// Round-robin by construction index: devices added by the autoscaler land
+/// on rotating shards, keeping the partition balanced under growth without
+/// ever re-homing an existing device.
+inline int shard_of(int device_index, int num_shards) {
+  SGPRS_CHECK(device_index >= 0);
+  SGPRS_CHECK(num_shards >= 1);
+  return device_index % num_shards;
+}
+
+/// Per-stream seed: common::stream_seed — the affine golden-ratio mix the
+/// Runner feeds to Rng::reseed (which splitmix64-finalizes it). Keyed on
+/// (base seed, task id) only — deliberately shard-blind, see rule 2 above.
+using common::stream_seed;
+
+/// Shard-local stream seed for subsystems that *want* decorrelation across
+/// shards (none of the deterministic runtime does — it would break shard-
+/// count invariance). Two splitmix64 steps over (base, shard, stream) give
+/// full-avalanche separation; the property suite pins that the outputs
+/// never collide across the (shard, stream) grid.
+inline std::uint64_t shard_stream_seed(std::uint64_t base, int shard,
+                                       int stream) {
+  std::uint64_t state = stream_seed(base, stream) +
+                        0xbf58476d1ce4e5b9ULL *
+                            (static_cast<std::uint64_t>(shard) + 1);
+  (void)common::splitmix64_next(state);
+  return common::splitmix64_next(state);
+}
+
+}  // namespace sgprs::fleet

@@ -61,6 +61,14 @@ void merge_into(PerTaskT& all, const PerTaskT& pt) {
 
 }  // namespace
 
+void Collector::merge_from(const Collector& other) {
+  SGPRS_CHECK_MSG(warmup_ == other.warmup_,
+                  "merging collectors with different warm-up windows");
+  for (const auto& [id, pt] : other.tasks_) {
+    merge_into(tasks_[id], pt);
+  }
+}
+
 Snapshot Collector::aggregate(SimTime end) const {
   PerTask all;
   for (const auto& [id, pt] : tasks_) {

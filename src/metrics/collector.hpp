@@ -68,6 +68,14 @@ class Collector {
   /// Ids of tasks that produced at least one event.
   std::vector<int> task_ids() const;
 
+  /// Folds another collector's per-task records into this one (counter
+  /// sums, Welford merge, percentile-sample append). The sharded fleet
+  /// runtime reduces its per-device collectors through this in device-index
+  /// order — a canonical order, so the merged sample multiset (and every
+  /// sorted-percentile read) is independent of shard count and thread
+  /// scheduling. Warm-up boundaries must match (checked).
+  void merge_from(const Collector& other);
+
   SimTime warmup() const { return warmup_; }
 
  private:

@@ -45,10 +45,9 @@ void Runner::admit_checked(const Task& t) {
                     "sporadic min_separation must not exceed "
                     "max_separation for task " << t.name);
     // Seed per task so the draw sequence is a function of (seed, task id)
-    // alone — never of admission order or event interleaving.
-    ts.arrival_rng.reseed(cfg_.jitter_seed +
-                          0x9e3779b97f4a7c15ULL *
-                              (static_cast<std::uint64_t>(t.id) + 1));
+    // alone — never of admission order, event interleaving or (in sharded
+    // fleet runs) which shard the hosting device landed on.
+    ts.arrival_rng.reseed(common::stream_seed(cfg_.jitter_seed, t.id));
   }
   scheduler_.admit(t);
   states_.push_back(std::move(ts));

@@ -97,6 +97,8 @@ void validate(const ScenarioConfig& cfg) {
   SGPRS_CHECK_MSG(cfg.num_devices >= 1 || !cfg.fleet.empty(),
                   "fleet must not be empty: num_devices must be >= 1, got "
                       << cfg.num_devices);
+  SGPRS_CHECK_MSG(cfg.shards >= 1,
+                  "shards must be >= 1, got " << cfg.shards);
   SGPRS_CHECK_MSG(cfg.admission_margin <= 1.0,
                   "admission_margin must be a fraction in (0, 1] (or <= 0 "
                   "to disable admission), got " << cfg.admission_margin);

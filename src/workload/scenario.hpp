@@ -75,6 +75,14 @@ struct ScenarioConfig {
   /// Fleet admission budget (fraction of saturated per-device capacity);
   /// <= 0 disables admission control so every task is placed.
   double admission_margin = 0.95;
+
+  /// Intra-run parallelism for dynamic (fleet-runtime) specs: partition
+  /// the device fleet into this many shards, each on its own event
+  /// calendar, executed in parallel between control-plane epoch barriers
+  /// (docs/sharding.md). 1 = the classic single-calendar path. Results are
+  /// byte-identical at any shard count (pinned by the shard determinism
+  /// suite); only wall-clock changes.
+  int shards = 1;
 };
 
 struct ScenarioResult {

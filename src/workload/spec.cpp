@@ -61,13 +61,15 @@ void parse_pool(const JsonValue& v, ScenarioConfig& cfg,
 void parse_sim(const JsonValue& v, ScenarioConfig& cfg,
                const std::string& path) {
   require_object(v, path);
-  check_keys(v, {"duration_s", "warmup_s", "seed", "jitter_phases"}, path);
+  check_keys(v, {"duration_s", "warmup_s", "seed", "jitter_phases", "shards"},
+             path);
   cfg.duration = common::SimTime::from_sec(
       num_or(v, "duration_s", cfg.duration.to_sec(), path));
   cfg.warmup = common::SimTime::from_sec(
       num_or(v, "warmup_s", cfg.warmup.to_sec(), path));
   cfg.seed = seed_or(v, "seed", cfg.seed, path);
   cfg.jitter_phases = bool_or(v, "jitter_phases", cfg.jitter_phases, path);
+  cfg.shards = int_or(v, "shards", cfg.shards, path);
 }
 
 void parse_sgprs(const JsonValue& v, ScenarioConfig& cfg,
@@ -326,6 +328,15 @@ void resolve_spec_trace(ScenarioSpec& spec, const std::string& spec_path) {
 }
 
 void validate(const ScenarioSpec& spec) {
+  // Sharding parallelizes the fleet runtime's epoch loop; the closed-world
+  // paths are single-calendar by construction, so a shard count on one is
+  // a spec mistake, not a silent no-op.
+  if (spec.base.shards > 1 && !spec.dynamic()) {
+    throw SpecError("spec.sim.shards",
+                    "shards > 1 requires a dynamic spec (a \"timeline\" or "
+                    "\"fleet_policy\" section routes the run through the "
+                    "sharded fleet runtime)");
+  }
   if (spec.generator && !spec.tasks.empty()) {
     throw SpecError("spec: \"tasks\" and \"generator\" are mutually "
                     "exclusive — pick one");

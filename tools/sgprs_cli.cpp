@@ -283,13 +283,19 @@ int run_loaded_spec(const workload::ScenarioSpec& spec,
 /// the run's admit/retire stream is written out.
 int run_scenario_file(const std::string& path, const std::string& report,
                       const std::string& trace_path,
-                      const std::string& record_path) {
+                      const std::string& record_path, int shards_override) {
   if (!fs::exists(path)) {
     std::cerr << "error: no such scenario spec: " << path << "\n";
     suggest_near(path);
     return 1;
   }
   auto spec = workload::load_scenario_spec(path);
+  if (shards_override > 0) {
+    // --shards re-partitions the run without editing the spec; any count
+    // yields byte-identical reports (docs/sharding.md).
+    spec.base.shards = shards_override;
+    workload::validate(spec);
+  }
   if (!trace_path.empty()) {
     if (!fs::exists(trace_path)) {
       std::cerr << "error: no such trace: " << trace_path << "\n";
@@ -309,8 +315,14 @@ int run_scenario_file(const std::string& path, const std::string& report,
 /// --experiment=file.json: expand the grid x replications, run on a worker
 /// pool, print the per-cell CI table and write <report>.csv/.json.
 int run_experiment_file(const std::string& path, int jobs,
-                        const std::string& report) {
-  const auto spec = workload::load_experiment_spec(path);
+                        const std::string& report, int shards_override) {
+  auto spec = workload::load_experiment_spec(path);
+  if (shards_override > 0) {
+    // Shards compose with --jobs: each replication runs sharded inside
+    // one of the pool's jobs. Results are byte-identical either way.
+    spec.base.base.shards = shards_override;
+    workload::validate(spec.base);
+  }
 
   // Open the report files before burning wall clock on the grid: an
   // unwritable --report path must fail fast, not after the whole run.
@@ -417,6 +429,9 @@ bool parse_base_config(const common::FlagParser& flags,
   // Range checking (margin <= 1, oversub >= 1, ...) is centralized in
   // workload::validate, called by the run functions.
   cfg.admission_margin = flags.get_double("admission-margin");
+  // Only an explicit --shards overrides: ad-hoc single-GPU runs stay on
+  // the classic path (shards > 1 requires a dynamic spec — validated).
+  if (flags.has("shards")) cfg.shards = flags.get_int("shards");
   return true;
 }
 
@@ -459,7 +474,9 @@ int run(const common::FlagParser& flags) {
   if (flags.has("scenario")) {
     return run_scenario_file(flags.get("scenario"),
                              flags.has("report") ? flags.get("report") : "",
-                             flags.get("trace"), flags.get("record-trace"));
+                             flags.get("trace"), flags.get("record-trace"),
+                             flags.has("shards") ? flags.get_int("shards")
+                                                 : 0);
   }
   if (flags.has("trace")) {
     return run_trace_file(flags.get("trace"), flags,
@@ -482,7 +499,9 @@ int run(const common::FlagParser& flags) {
     // a suite_report.* pair from an earlier --suite run.
     return run_experiment_file(flags.get("experiment"), flags.get_int("jobs"),
                                flags.has("report") ? flags.get("report")
-                                                   : "experiment_report");
+                                                   : "experiment_report",
+                               flags.has("shards") ? flags.get_int("shards")
+                                                   : 0);
   }
   if (flags.has("suite")) {
     return run_suite_dir(flags.get("suite"), flags.get("report"));
@@ -616,6 +635,11 @@ int main(int argc, char** argv) {
                "worker threads for --experiment (0 = all hardware threads; "
                "results are byte-identical for any value)",
                "0");
+  flags.define("shards",
+               "parallel shards inside one dynamic run (overrides the "
+               "spec's sim.shards; results are byte-identical for any "
+               "value)",
+               "1");
   flags.define("devices",
                "fleet: a device count (\"4\") or a comma list of device "
                "names (\"2080ti,3090\")",
