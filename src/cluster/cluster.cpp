@@ -35,7 +35,8 @@ Cluster::Cluster(sim::Engine& engine, metrics::Collector& collector,
     placer_devices.push_back(placer_device_for(spec, devices_.back()));
   }
   placer_ = std::make_unique<Placer>(std::move(placer_devices),
-                                     cfg_.placement, cfg_.admission_margin);
+                                     cfg_.placement, cfg_.admission_margin,
+                                     cfg_.occupancy_threshold);
 }
 
 Cluster::Device Cluster::make_device(const gpu::DeviceSpec& spec, int index) {
@@ -115,12 +116,13 @@ std::vector<int> Cluster::pool_sm_sizes() const {
 
 void Cluster::place(std::vector<rt::Task> tasks) {
   SGPRS_CHECK_MSG(!started_, "place() after start()");
-  for (auto& task : tasks) {
-    const auto dev = placer_->place(task);
-    if (dev) {
-      devices_[*dev].tasks.push_back(std::move(task));
+  const auto results = placer_->place_batch(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (results[i].device) {
+      devices_[*results[i].device].tasks.push_back(std::move(tasks[i]));
     } else {
-      rejected_.push_back(std::move(task));
+      rejected_.push_back(std::move(tasks[i]));
+      rejected_oom_.push_back(results[i].oom);
     }
   }
 }
@@ -197,8 +199,10 @@ metrics::FleetReport Cluster::fleet_report(
   for (int i = 0; i < num_devices(); ++i) {
     reports.push_back(device_report(i, end, merged));
   }
+  int oom = 0;
+  for (const bool b : rejected_oom_) oom += b ? 1 : 0;
   return metrics::roll_up(std::move(reports),
-                          static_cast<int>(rejected_.size()));
+                          static_cast<int>(rejected_.size()), oom);
 }
 
 std::int64_t Cluster::releases_issued() const {

@@ -46,6 +46,9 @@ struct ClusterConfig {
   /// Admission budget as a fraction of saturated capacity; <= 0 disables
   /// admission control (every task is placed).
   double admission_margin = 0.95;
+  /// Admissible fraction of each device's resident-warp capacity
+  /// (rt::ResourceBudget; CASE exemplar value 0.9).
+  double occupancy_threshold = 0.9;
   rt::SchedulerKind scheduler = rt::SchedulerKind::kSgprs;
   /// Context pool shape, replicated on every device.
   gpu::ContextPoolConfig pool;
@@ -103,9 +106,13 @@ class Cluster {
   /// task WCETs at exactly these sizes before placing.
   std::vector<int> pool_sm_sizes() const;
 
-  /// Places each task in order; rejected tasks are retained for reporting.
+  /// Places each task as one batch (Placer::place_batch); rejected tasks
+  /// are retained for reporting, with their OOM classification alongside.
   void place(std::vector<rt::Task> tasks);
   const std::vector<rt::Task>& rejected_tasks() const { return rejected_; }
+  /// rejected_oom()[k] is true when rejected_tasks()[k] failed on memory
+  /// alone (cluster::PlaceResult::oom).
+  const std::vector<bool>& rejected_oom() const { return rejected_oom_; }
 
   /// Arms periodic releases on every device (admits tasks into the
   /// per-device schedulers). Call once after place(); then run the engine.
@@ -177,6 +184,7 @@ class Cluster {
   std::deque<Device> devices_;  // stable addresses under add_device
   std::unique_ptr<Placer> placer_;
   std::vector<rt::Task> rejected_;
+  std::vector<bool> rejected_oom_;
   bool started_ = false;
   rt::RunnerConfig rcfg_;
 };

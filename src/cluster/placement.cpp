@@ -17,13 +17,15 @@ const char* to_string(PlacementPolicy p) {
     case PlacementPolicy::kRoundRobin: return "roundrobin";
     case PlacementPolicy::kLeastLoaded: return "leastloaded";
     case PlacementPolicy::kBinPackUtilization: return "binpack";
+    case PlacementPolicy::kBinPackMemory: return "binpack_memory";
+    case PlacementPolicy::kWorstFit: return "worstfit";
     case PlacementPolicy::kHashAffinity: return "hash";
   }
   return "?";
 }
 
 const char* placement_policy_names() {
-  return "roundrobin|leastloaded|binpack|hash";
+  return "roundrobin|leastloaded|binpack|binpack_memory|worstfit|hash";
 }
 
 std::optional<PlacementPolicy> parse_placement_policy(
@@ -31,6 +33,8 @@ std::optional<PlacementPolicy> parse_placement_policy(
   if (name == "roundrobin") return PlacementPolicy::kRoundRobin;
   if (name == "leastloaded") return PlacementPolicy::kLeastLoaded;
   if (name == "binpack") return PlacementPolicy::kBinPackUtilization;
+  if (name == "binpack_memory") return PlacementPolicy::kBinPackMemory;
+  if (name == "worstfit") return PlacementPolicy::kWorstFit;
   if (name == "hash") return PlacementPolicy::kHashAffinity;
   return std::nullopt;
 }

@@ -20,10 +20,18 @@ enum class PlacementPolicy {
   /// Device with the lowest offered-utilization *fraction* of its own
   /// capacity (relative load balance; heterogeneous devices fill evenly).
   kLeastLoaded,
-  /// Worst-fit bin packing by DNN stage utilization: the device with the
-  /// most *absolute* spare work-rate capacity wins (big devices fill
-  /// first, keeping the largest contiguous headroom for future tasks).
+  /// Best-fit bin packing by work-rate: the device with the *least*
+  /// absolute spare capacity that still admits the task wins, so loaded
+  /// devices fill up before fresh ones are opened.
   kBinPackUtilization,
+  /// Best-fit bin packing by device memory: the device with the least
+  /// remaining memory that still admits wins. The policy of choice for
+  /// memory-constrained fleets — streams concentrate on few devices.
+  kBinPackMemory,
+  /// Worst-fit spreading by absolute spare work-rate: the device with the
+  /// most headroom wins (big devices fill first). This is the pre-fix
+  /// behaviour of "binpack", kept reachable under its honest name.
+  kWorstFit,
   /// Stable hash of the task name picks a home device (session affinity);
   /// linear probing past saturated devices keeps admission maximal.
   kHashAffinity,

@@ -25,20 +25,28 @@ std::uint64_t fnv1a(const std::string& s) {
 }  // namespace
 
 Placer::Placer(std::vector<PlacerDevice> devices, PlacementPolicy policy,
-               double admission_margin)
-    : policy_(policy), margin_(admission_margin) {
+               double admission_margin, double occupancy_threshold)
+    : policy_(policy),
+      margin_(admission_margin),
+      occupancy_threshold_(occupancy_threshold) {
   SGPRS_CHECK_MSG(!devices.empty(), "placer needs at least one device");
   SGPRS_CHECK_MSG(admission_margin <= 1.0,
                   "admission margin is a fraction of capacity");
+  SGPRS_CHECK_MSG(occupancy_threshold > 0.0 && occupancy_threshold <= 1.0,
+                  "occupancy threshold is a fraction of warp capacity");
   devices_.reserve(devices.size());
   for (auto& d : devices) add_device(std::move(d));
 }
 
 int Placer::add_device(PlacerDevice device, bool active) {
   SGPRS_CHECK(device.capacity.work_rate > 0.0);
+  rt::ResourceBudget budget;
+  budget.mem_bytes = device.spec.mem_bytes;
+  budget.total_warps = device.spec.total_warps();
+  budget.occupancy_threshold = occupancy_threshold_;
   // A disabled margin still needs a valid controller for load tracking.
   rt::AdmissionController controller(device.capacity, device.pool_sms,
-                                     margin_ > 0.0 ? margin_ : 1.0);
+                                     margin_ > 0.0 ? margin_ : 1.0, budget);
   devices_.push_back(
       DeviceState{std::move(device), std::move(controller), active});
   return static_cast<int>(devices_.size()) - 1;
@@ -68,7 +76,15 @@ double Placer::remaining_capacity(int d) const {
       (margin_ > 0.0 ? margin_ : 1.0) * ds.info.capacity.work_rate;
   const double offered =
       ds.controller.current_utilization() * ds.info.capacity.work_rate;
-  return budget - offered;
+  // force_place / disabled-margin overload can push offered past the
+  // budget; spare capacity is never negative.
+  return std::max(0.0, budget - offered);
+}
+
+std::int64_t Placer::remaining_mem_bytes(int d) const {
+  const DeviceState& ds = devices_.at(d);
+  return std::max<std::int64_t>(
+      0, ds.info.spec.mem_bytes - ds.controller.mem_used());
 }
 
 int Placer::task_count(int d) const {
@@ -77,6 +93,28 @@ int Placer::task_count(int d) const {
 
 const std::vector<rt::Task>& Placer::placed_on(int d) const {
   return devices_.at(d).controller.admitted();
+}
+
+double Placer::order_key(int d) const {
+  switch (policy_) {
+    case PlacementPolicy::kLeastLoaded:
+      return utilization(d);
+    case PlacementPolicy::kBinPackUtilization:
+    case PlacementPolicy::kWorstFit:
+      return remaining_capacity(d);
+    case PlacementPolicy::kBinPackMemory:
+      return static_cast<double>(remaining_mem_bytes(d));
+    case PlacementPolicy::kRoundRobin:
+    case PlacementPolicy::kHashAffinity:
+      break;
+  }
+  return 0.0;
+}
+
+bool Placer::order_ascending() const {
+  // Best-fit family probes the least spare first (so the first admitting
+  // device is the tightest fit); worst-fit probes the most spare first.
+  return policy_ != PlacementPolicy::kWorstFit;
 }
 
 std::vector<int> Placer::candidate_order(const rt::Task& task) const {
@@ -93,18 +131,16 @@ std::vector<int> Placer::candidate_order(const rt::Task& task) const {
       for (int i = 0; i < n; ++i) order[i] = (home + i) % n;
       break;
     }
-    case PlacementPolicy::kLeastLoaded: {
-      std::vector<double> load(n);
-      for (int i = 0; i < n; ++i) load[i] = utilization(i);
-      std::stable_sort(order.begin(), order.end(),
-                       [&](int a, int b) { return load[a] < load[b]; });
-      break;
-    }
-    case PlacementPolicy::kBinPackUtilization: {
-      std::vector<double> spare(n);
-      for (int i = 0; i < n; ++i) spare[i] = remaining_capacity(i);
-      std::stable_sort(order.begin(), order.end(),
-                       [&](int a, int b) { return spare[a] > spare[b]; });
+    case PlacementPolicy::kLeastLoaded:
+    case PlacementPolicy::kBinPackUtilization:
+    case PlacementPolicy::kBinPackMemory:
+    case PlacementPolicy::kWorstFit: {
+      std::vector<double> key(n);
+      for (int i = 0; i < n; ++i) key[i] = order_key(i);
+      const bool asc = order_ascending();
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return asc ? key[a] < key[b] : key[a] > key[b];
+      });
       break;
     }
   }
@@ -125,21 +161,113 @@ std::optional<int> Placer::force_place(const rt::Task& task) {
 }
 
 std::optional<int> Placer::place(const rt::Task& task) {
+  return place_ex(task).device;
+}
+
+PlaceResult Placer::place_ex(const rt::Task& task) {
+  bool saw_oom = false;
   for (int d : candidate_order(task)) {
     if (!devices_[d].active) continue;
     auto& controller = devices_[d].controller;
     if (margin_ <= 0.0) {
       controller.force_admit(task);  // admission control disabled
-    } else if (!controller.try_admit(task)) {
-      continue;
+    } else {
+      const rt::AdmitOutcome out = controller.try_admit_ex(task);
+      if (out != rt::AdmitOutcome::kAdmitted) {
+        saw_oom = saw_oom || out == rt::AdmitOutcome::kRejectedMemory;
+        continue;
+      }
     }
     if (policy_ == PlacementPolicy::kRoundRobin) {
       rr_next_ = (d + 1) % num_devices();
     }
-    return d;
+    return PlaceResult{d, false};
   }
   ++rejected_;
-  return std::nullopt;
+  if (saw_oom) ++oom_rejected_;
+  return PlaceResult{std::nullopt, saw_oom};
+}
+
+std::vector<PlaceResult> Placer::place_batch(
+    const std::vector<rt::Task>& tasks, bool force) {
+  std::vector<PlaceResult> results(tasks.size());
+  if (force) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      results[i].device = force_place(tasks[i]);
+    }
+    return results;
+  }
+  if (policy_ == PlacementPolicy::kRoundRobin ||
+      policy_ == PlacementPolicy::kHashAffinity) {
+    // Order-keyed by the stream, not the load — nothing to cache.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      results[i] = place_ex(tasks[i]);
+    }
+    return results;
+  }
+
+  // Load-sorted policies: compute every device's ordering key once, then
+  // refresh only the device each placement lands on. A placement changes
+  // no other device's load, so the candidate orderings — and therefore the
+  // decisions — are byte-identical to sequential place() calls, without
+  // the O(batch × devices) utilization recomputes.
+  const int n = num_devices();
+  std::vector<double> key(n);
+  for (int d = 0; d < n; ++d) key[d] = order_key(d);
+
+  std::vector<std::size_t> item(tasks.size());
+  std::iota(item.begin(), item.end(), std::size_t{0});
+  // Best-fit *decreasing*: the bin-packing policies consider streams
+  // largest-first over their binding dimension, which is what makes
+  // best-fit pack tightly. Other policies keep arrival order.
+  if (policy_ == PlacementPolicy::kBinPackUtilization) {
+    std::vector<double> w(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      w[i] = rt::task_work_rate(tasks[i]);
+    }
+    std::stable_sort(item.begin(), item.end(),
+                     [&](std::size_t a, std::size_t b) { return w[a] > w[b]; });
+  } else if (policy_ == PlacementPolicy::kBinPackMemory) {
+    std::stable_sort(item.begin(), item.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+      return tasks[a].mem_bytes > tasks[b].mem_bytes;
+    });
+  }
+
+  const bool asc = order_ascending();
+  std::vector<int> order(n);
+  for (std::size_t idx : item) {
+    const rt::Task& task = tasks[idx];
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return asc ? key[a] < key[b] : key[a] > key[b];
+    });
+    bool saw_oom = false;
+    bool placed = false;
+    for (int d : order) {
+      if (!devices_[d].active) continue;
+      auto& controller = devices_[d].controller;
+      if (margin_ <= 0.0) {
+        controller.force_admit(task);
+      } else {
+        const rt::AdmitOutcome out = controller.try_admit_ex(task);
+        if (out != rt::AdmitOutcome::kAdmitted) {
+          saw_oom = saw_oom || out == rt::AdmitOutcome::kRejectedMemory;
+          continue;
+        }
+      }
+      key[d] = order_key(d);
+      results[idx] = PlaceResult{d, false};
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      ++rejected_;
+      if (saw_oom) ++oom_rejected_;
+      results[idx] = PlaceResult{std::nullopt, saw_oom};
+    }
+  }
+  return results;
 }
 
 }  // namespace sgprs::cluster

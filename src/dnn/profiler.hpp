@@ -8,6 +8,7 @@
 //    exactly like profiling on real hardware in isolation.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -21,6 +22,14 @@
 namespace sgprs::dnn {
 
 using common::SimTime;
+
+/// Placement footprint of one stream: device memory for its working set
+/// and the time-averaged resident-warp demand at its reference SM size.
+/// Both feed multi-resource admission (cluster::Placer).
+struct TaskFootprint {
+  std::int64_t mem_bytes = 0;
+  std::int64_t warps = 0;
+};
 
 /// Per-stage WCETs of one task at every SM size in the context pool.
 struct WcetTable {
@@ -61,6 +70,16 @@ class Profiler {
   /// End-to-end network speedup at `sms` vs one SM (reproduces Fig. 1's
   /// "overall ResNet18" curve).
   double network_speedup(const Network& net, int sms) const;
+
+  /// Memory + occupancy footprint of one stream of this network released
+  /// at `period_sec` intervals and executing at `ref_sms` SMs:
+  ///  * mem_bytes — fp32 weights (conv/linear) + peak live activations
+  ///    along the topological order + a fixed per-stream runtime overhead;
+  ///  * warps — per-layer resident warps (one per 32 output elements,
+  ///    capped at the device's warp capacity) averaged over the period,
+  ///    weighted by each layer's execution time at `ref_sms`.
+  TaskFootprint footprint(const Network& net, int ref_sms,
+                          double period_sec) const;
 
   const CostModel& cost_model() const { return cost_; }
   const gpu::SpeedupModel& speedup_model() const { return speedup_; }

@@ -10,6 +10,7 @@ const char* to_string(DecisionKind k) {
     case DecisionKind::kStreamAdmitted: return "stream_admitted";
     case DecisionKind::kStreamDowngraded: return "stream_downgraded";
     case DecisionKind::kStreamRejected: return "stream_rejected";
+    case DecisionKind::kStreamOomRejected: return "stream_oom_rejected";
     case DecisionKind::kStreamRetired: return "stream_retired";
     case DecisionKind::kStreamReplaced: return "stream_replaced";
     case DecisionKind::kStreamDropped: return "stream_dropped";
@@ -33,6 +34,8 @@ void print_fleet_run(const FleetRunResult& r, std::ostream& out) {
   summary.add_row({"streams admitted", std::to_string(r.streams_admitted)});
   summary.add_row({"streams retired", std::to_string(r.streams_retired)});
   summary.add_row({"streams rejected", std::to_string(r.streams_rejected)});
+  summary.add_row(
+      {"streams oom-rejected", std::to_string(r.streams_oom_rejected)});
   summary.add_row(
       {"streams downgraded", std::to_string(r.streams_downgraded)});
   summary.add_row({"jobs shed", std::to_string(r.jobs_shed)});
@@ -77,6 +80,7 @@ void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
   w.field("streams_admitted", r.streams_admitted);
   w.field("streams_retired", r.streams_retired);
   w.field("streams_rejected", r.streams_rejected);
+  w.field("streams_oom_rejected", r.streams_oom_rejected);
   w.field("streams_downgraded", r.streams_downgraded);
   w.field("jobs_shed", r.jobs_shed);
   w.field("peak_devices", r.peak_devices);
@@ -116,6 +120,7 @@ void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
     w.field("window_dmr", s.window_dmr);
     w.field("utilization", s.utilization);
     w.field("streams_rejected_cum", s.streams_rejected_cum);
+    w.field("streams_oom_cum", s.streams_oom_cum);
     w.field("jobs_shed_cum", s.jobs_shed_cum);
     w.end_object();
   }

@@ -23,6 +23,7 @@ enum class DecisionKind {
   kStreamAdmitted,
   kStreamDowngraded,  // admitted after a QoS fps_scale retry
   kStreamRejected,    // no device passed admission
+  kStreamOomRejected,  // rejected with memory as the sole blocker
   kStreamRetired,     // scripted/stochastic departure
   kStreamReplaced,    // moved off a draining device
   kStreamDropped,     // re-placement off a draining device failed
@@ -57,6 +58,9 @@ struct FleetRunResult {
   // --- churn counters ---
   std::int64_t streams_admitted = 0;  // includes the initial task set
   std::int64_t streams_rejected = 0;  // admission + failed re-placement
+  /// Subset of streams_rejected where every candidate device had the
+  /// compute headroom but not the memory (kStreamOomRejected decisions).
+  std::int64_t streams_oom_rejected = 0;
   std::int64_t streams_retired = 0;
   std::int64_t streams_downgraded = 0;
   std::int64_t jobs_shed = 0;

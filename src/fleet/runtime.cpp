@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -170,6 +172,12 @@ class FleetRuntime {
                        : cfg_.fleet;
     ccfg.placement = cfg_.placement;
     ccfg.admission_margin = cfg_.admission_margin;
+    ccfg.occupancy_threshold = cfg_.occupancy_threshold;
+    if (cfg_.device_mem_mb > 0.0) {
+      const std::int64_t mem = static_cast<std::int64_t>(
+          std::llround(cfg_.device_mem_mb * 1048576.0));
+      for (auto& spec : ccfg.devices) spec.mem_bytes = mem;
+    }
     ccfg.scheduler = cfg_.scheduler;
     ccfg.pool = workload::pool_config_for(cfg_);
     ccfg.sgprs = cfg_.sgprs;
@@ -196,6 +204,12 @@ class FleetRuntime {
     scale_spec_ = policy_.autoscaler.device.empty()
                       ? cfg_.device
                       : *gpu::device_by_name(policy_.autoscaler.device);
+    if (cfg_.device_mem_mb > 0.0) {
+      // The scenario-wide memory cap applies to autoscaled devices too, so
+      // a memory-constrained fleet cannot scale its way past the budget.
+      scale_spec_.mem_bytes = static_cast<std::int64_t>(
+          std::llround(cfg_.device_mem_mb * 1048576.0));
+    }
     pool_sizes_ = cluster_->pool_sm_sizes();
     if (policy_.autoscaler.kind != AutoscalePolicyKind::kNone) {
       // Devices the autoscaler may add must already be covered by every
@@ -263,6 +277,13 @@ class FleetRuntime {
             t.max_separation_ms > 0.0 ? t.max_separation_ms / fps_scale
                                       : 1.5 * min_sep_ms);
       }
+      // Template footprint overrides pin both the prototype and its
+      // downgraded variant (a slower stream still holds its weights).
+      if (t.mem_mb >= 0.0) {
+        proto.mem_bytes = static_cast<std::int64_t>(
+            std::llround(t.mem_mb * 1048576.0));
+      }
+      if (t.warps >= 0) proto.warps = t.warps;
       return proto;
     };
     for (const auto& t : effective_templates()) {
@@ -297,10 +318,21 @@ class FleetRuntime {
               [](const LiveStream& a, const LiveStream& b) {
                 return a.task_id < b.task_id;
               });
+    const std::vector<bool>& oom = cluster_->rejected_oom();
+    std::size_t reject_index = 0;
     for (const auto& t : cluster_->rejected_tasks()) {
       ++result_.streams_rejected;
-      record({SimTime::zero(), DecisionKind::kStreamRejected, t.id, -1,
-              "initial placement failed admission"});
+      const bool was_oom =
+          reject_index < oom.size() && oom[reject_index];
+      ++reject_index;
+      if (was_oom) {
+        ++result_.streams_oom_rejected;
+        record({SimTime::zero(), DecisionKind::kStreamOomRejected, t.id, -1,
+                "initial placement ran out of device memory"});
+      } else {
+        record({SimTime::zero(), DecisionKind::kStreamRejected, t.id, -1,
+                "initial placement failed admission"});
+      }
     }
   }
 
@@ -456,21 +488,37 @@ class FleetRuntime {
     task.id = id;
     task.name = tmpl.name + "-" + std::to_string(id);
 
-    auto dev = policy_.overload.admission_test
-                   ? cluster_->placer().place(task)
-                   : cluster_->placer().force_place(task);
+    std::optional<int> dev;
+    bool oom = false;
+    if (policy_.overload.admission_test) {
+      const cluster::PlaceResult r = cluster_->placer().place_ex(task);
+      dev = r.device;
+      oom = r.oom;
+    } else {
+      dev = cluster_->placer().force_place(task);
+    }
     bool downgraded = false;
     if (!dev && policy_.overload.fps_scale < 1.0) {
       task = downgraded_.at(tmpl.name);
       task.id = id;
       task.name = tmpl.name + "-" + std::to_string(id);
-      dev = cluster_->placer().place(task);
+      const cluster::PlaceResult r = cluster_->placer().place_ex(task);
+      dev = r.device;
+      oom = r.oom;
       downgraded = dev.has_value();
     }
     if (!dev) {
       ++result_.streams_rejected;
-      record({now, DecisionKind::kStreamRejected, id, -1,
-              std::string(source) + " " + tmpl.name});
+      if (oom) {
+        // Memory was the sole remaining blocker on every candidate: the
+        // fleet has compute headroom but no VRAM for this stream.
+        ++result_.streams_oom_rejected;
+        record({now, DecisionKind::kStreamOomRejected, id, -1,
+                std::string(source) + " " + tmpl.name});
+      } else {
+        record({now, DecisionKind::kStreamRejected, id, -1,
+                std::string(source) + " " + tmpl.name});
+      }
       return -1;
     }
     const rt::Task& stored = cluster_->admit_task(*dev, std::move(task));
@@ -616,22 +664,31 @@ class FleetRuntime {
             std::to_string(victim_streams) + " streams to re-place"});
 
     // Re-place the victim's streams through the placer; in-flight jobs
-    // keep draining on the victim, only *future* releases move.
+    // keep draining on the victim, only *future* releases move. All
+    // victims are retired first and re-placed as ONE batched decision
+    // (CASE-style): the victim is inactive, so the candidate set any
+    // stream sees is the same whether its predecessors were retired one
+    // at a time or up front.
     std::vector<int> ids;
+    std::vector<rt::Task> copies;
     for (const auto& s : live_) {
-      if (s.device == victim) ids.push_back(s.task_id);
+      if (s.device != victim) continue;
+      ids.push_back(s.task_id);
+      copies.push_back(*s.task);  // keeps its id: metrics stay continuous
     }
     for (int id : ids) {
+      cluster_->retire_task(victim, id, /*forget_metrics=*/true);
+    }
+    const std::vector<cluster::PlaceResult> placed =
+        cluster_->placer().place_batch(
+            copies, /*force=*/!policy_.overload.admission_test);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const int id = ids[i];
       auto it = std::find_if(live_.begin(), live_.end(),
                              [id](const LiveStream& s) {
                                return s.task_id == id;
                              });
-      rt::Task copy = *it->task;  // keeps its id: metrics stay continuous
-      cluster_->retire_task(victim, id, /*forget_metrics=*/true);
-      auto dev = policy_.overload.admission_test
-                     ? cluster_->placer().place(copy)
-                     : cluster_->placer().force_place(copy);
-      if (!dev) {
+      if (!placed[i].device) {
         // The stream leaves the system (it *was* admitted), so it counts
         // as retired — not rejected — keeping admitted − retired == live.
         record({now, DecisionKind::kStreamDropped, id, victim,
@@ -640,10 +697,12 @@ class FleetRuntime {
         ++result_.streams_retired;
         continue;
       }
-      const rt::Task& stored = cluster_->admit_task(*dev, std::move(copy));
+      const int dev = *placed[i].device;
+      const rt::Task& stored =
+          cluster_->admit_task(dev, std::move(copies[i]));
       it->task = &stored;
-      it->device = *dev;
-      record({now, DecisionKind::kStreamReplaced, id, *dev,
+      it->device = dev;
+      record({now, DecisionKind::kStreamReplaced, id, dev,
               "from device " + std::to_string(victim)});
     }
   }
@@ -700,6 +759,7 @@ class FleetRuntime {
                        ? static_cast<double>(s.completions) / win_s
                        : 0.0;
     s.streams_rejected_cum = result_.streams_rejected;
+    s.streams_oom_cum = result_.streams_oom_rejected;
     s.jobs_shed_cum = overload_.total_jobs_shed();
     result_.series.samples.push_back(s);
     prev_counts_ = c;
@@ -733,6 +793,8 @@ class FleetRuntime {
     }
     result_.fleet.tasks_rejected =
         static_cast<int>(result_.streams_rejected);
+    result_.fleet.tasks_oom_rejected =
+        static_cast<int>(result_.streams_oom_rejected);
     result_.releases = cluster_->releases_issued();
     result_.stage_migrations = cluster_->stage_migrations();
     result_.medium_promotions = cluster_->medium_promotions();

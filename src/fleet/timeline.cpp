@@ -27,7 +27,7 @@ StreamTemplate parse_stream_template(const common::JsonValue& v,
   check_keys(v,
              {"name", "network", "fps", "stages", "deadline_ms", "phase_ms",
               "priority", "arrival", "min_separation_ms",
-              "max_separation_ms", "tier"},
+              "max_separation_ms", "tier", "mem_mb", "warps"},
              path);
   StreamTemplate t;
   t.name = str_or(v, "name", "", path);
@@ -51,6 +51,10 @@ StreamTemplate parse_stream_template(const common::JsonValue& v,
   t.min_separation_ms = num_or(v, "min_separation_ms", 0.0, path);
   t.max_separation_ms = num_or(v, "max_separation_ms", 0.0, path);
   t.tier = int_or(v, "tier", t.tier, path);
+  t.mem_mb = num_or(v, "mem_mb", t.mem_mb, path);
+  if (const common::JsonValue* w = v.find("warps")) {
+    t.warps = get_field("warps", path, [&] { return w->as_int(); });
+  }
   return t;
 }
 
@@ -61,6 +65,14 @@ void validate_stream_template(const StreamTemplate& t,
   if (t.deadline_ms < 0.0) bad(path + ".deadline_ms", "must be >= 0");
   if (t.phase_ms < 0.0) bad(path + ".phase_ms", "must be >= 0");
   if (t.tier < 0) bad(path + ".tier", "must be >= 0");
+  if (t.mem_mb < 0.0 && t.mem_mb != -1.0) {
+    bad(path + ".mem_mb", "must be >= 0 (or omitted to derive from the "
+                          "network)");
+  }
+  if (t.warps < -1) {
+    bad(path + ".warps", "must be >= 0 (or omitted to derive from the "
+                         "network)");
+  }
   if (!dnn::network_builder_by_name(t.network)) {
     bad(path + ".network", "unknown network \"" + t.network + "\" (want " +
                                dnn::network_names() + ")");

@@ -58,6 +58,11 @@ struct StreamTemplate {
   /// shedding), higher tiers shed first. Initial "tasks" entries default
   /// to tier 0, templates to tier 1.
   int tier = 1;
+  /// Placement footprint overrides, mirroring the task-entry schema:
+  /// < 0 (default) derives from the network's profile, >= 0 pins memory
+  /// (MiB) / time-averaged resident warps explicitly.
+  double mem_mb = -1.0;
+  long long warps = -1;
 };
 
 /// One scripted churn event. `every_s == 0` fires once at `at_s`;

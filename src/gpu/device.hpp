@@ -1,6 +1,7 @@
 // Static description of the simulated GPU device.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -14,16 +15,30 @@ struct DeviceSpec {
   /// Maximum concurrent kernels the device will execute (hardware queue
   /// limit; generous, the per-context stream limit binds first).
   int max_concurrent_kernels = 128;
+  /// Usable device memory for stream working sets. Placement treats this
+  /// as a hard budget: a stream whose footprint does not fit is rejected
+  /// as OOM rather than admitted.
+  std::int64_t mem_bytes = 11LL << 30;  // 11 GiB (2080 Ti)
+  /// Resident-warp capacity per SM. Turing runs 32 warps/SM; Ampere 48.
+  /// (The CASE exemplar hardcodes 64; we use per-architecture values.)
+  int warps_per_sm = 32;
+
+  /// Total resident-warp capacity of the device.
+  std::int64_t total_warps() const {
+    return static_cast<std::int64_t>(total_sms) * warps_per_sm;
+  }
 };
 
 inline DeviceSpec rtx2080ti() { return DeviceSpec{}; }
 
-/// A 3090-class device (82 SMs): the second SM count used for
+/// A 3090-class device (82 SMs, 24 GiB): the second SM count used for
 /// heterogeneous fleets in the cluster layer.
 inline DeviceSpec rtx3090() {
   DeviceSpec d;
   d.name = "RTX 3090 (simulated)";
   d.total_sms = 82;
+  d.mem_bytes = 24LL << 30;
+  d.warps_per_sm = 48;
   return d;
 }
 

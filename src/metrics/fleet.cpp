@@ -38,7 +38,8 @@ Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device) {
   return fleet;
 }
 
-FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected) {
+FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected,
+                    int tasks_oom_rejected) {
   FleetReport report;
   std::vector<Snapshot> snaps;
   snaps.reserve(devices.size());
@@ -53,6 +54,7 @@ FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected) {
   report.fleet = roll_up_snapshots(snaps);
   report.mean_utilization = total_sms > 0.0 ? weighted_util / total_sms : 0.0;
   report.tasks_rejected = tasks_rejected;
+  report.tasks_oom_rejected = tasks_oom_rejected;
   report.devices = std::move(devices);
   return report;
 }

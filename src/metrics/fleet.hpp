@@ -36,12 +36,16 @@ struct FleetReport {
   double mean_utilization = 0.0;
   int tasks_assigned = 0;
   int tasks_rejected = 0;
+  /// Rejections where device memory was the sole blocker (subset of
+  /// tasks_rejected).
+  int tasks_oom_rejected = 0;
 };
 
 /// Combines per-device snapshots under the semantics above.
 Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device);
 
 /// Full fleet rollup from per-device reports.
-FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected);
+FleetReport roll_up(std::vector<DeviceReport> devices, int tasks_rejected,
+                    int tasks_oom_rejected = 0);
 
 }  // namespace sgprs::metrics

@@ -38,6 +38,9 @@ struct TimeSample {
   double utilization = 0.0;
   // --- cumulative overload counters ---
   std::int64_t streams_rejected_cum = 0;
+  /// Subset of streams_rejected_cum where device memory was the sole
+  /// remaining blocker (see cluster::PlaceResult::oom).
+  std::int64_t streams_oom_cum = 0;
   std::int64_t jobs_shed_cum = 0;
 };
 

@@ -51,14 +51,21 @@ namespace {
 /// stored, so reconstruct from the profiled pool-SM WCET times the speedup
 /// — instead we integrate stage WCETs at the profiled size and scale by
 /// the representative-op speedup, which is exact when one op dominates.
-double task_work_rate(const Task& task, int pool_sms,
-                      const gpu::SpeedupModel& speedup, gpu::OpClass rep) {
+double task_work_rate_at(const Task& task, int pool_sms,
+                         const gpu::SpeedupModel& speedup, gpu::OpClass rep) {
   const double wcet = task.wcet.total_at(pool_sms).to_sec();
   const double s = speedup.speedup(rep, static_cast<double>(pool_sms));
   return wcet * s / task.period.to_sec();
 }
 
 }  // namespace
+
+double task_work_rate(const Task& task) {
+  SGPRS_CHECK(!task.wcet.per_stage.empty());
+  const int pool_sms = task.wcet.total.begin()->first;
+  return task_work_rate_at(task, pool_sms, gpu::SpeedupModel::rtx2080ti(),
+                           gpu::OpClass::kConv);
+}
 
 UtilizationReport utilization_test(const std::vector<Task>& tasks,
                                    const PoolCapacityModel& capacity,
@@ -72,7 +79,7 @@ UtilizationReport utilization_test(const std::vector<Task>& tasks,
     // Use the first profiled SM size as the reference.
     const int pool_sms = t.wcet.total.begin()->first;
     rep.offered_work_rate +=
-        task_work_rate(t, pool_sms, speedup, gpu::OpClass::kConv);
+        task_work_rate_at(t, pool_sms, speedup, gpu::OpClass::kConv);
   }
   rep.capacity_work_rate = capacity.work_rate;
   rep.utilization = rep.offered_work_rate / rep.capacity_work_rate;
@@ -115,24 +122,42 @@ ResponseTimeReport response_time_estimate(const std::vector<Task>& tasks,
   return rep;
 }
 
-bool AdmissionController::try_admit(const Task& task) {
+AdmitOutcome AdmissionController::try_admit_ex(const Task& task) {
   admitted_.push_back(task);
   const auto util = utilization_test(admitted_, capacity_, margin_);
   if (!util.schedulable_by_utilization) {
     admitted_.pop_back();
-    return false;
+    return AdmitOutcome::kRejectedUtilization;
   }
   const auto rta = response_time_estimate(admitted_, capacity_, pool_sms_);
   if (!rta.all_deadlines_met) {
     admitted_.pop_back();
-    return false;
+    return AdmitOutcome::kRejectedUtilization;
   }
-  return true;
+  // Physical budgets, checked only when the device declares them. Warp
+  // occupancy before memory so kRejectedMemory means memory alone blocked.
+  if (budget_.total_warps > 0 &&
+      static_cast<double>(warps_used_ + task.warps) >
+          budget_.occupancy_threshold *
+              static_cast<double>(budget_.total_warps)) {
+    admitted_.pop_back();
+    return AdmitOutcome::kRejectedOccupancy;
+  }
+  if (budget_.mem_bytes > 0 &&
+      mem_used_ + task.mem_bytes > budget_.mem_bytes) {
+    admitted_.pop_back();
+    return AdmitOutcome::kRejectedMemory;
+  }
+  mem_used_ += task.mem_bytes;
+  warps_used_ += task.warps;
+  return AdmitOutcome::kAdmitted;
 }
 
 bool AdmissionController::remove(int task_id) {
   for (auto it = admitted_.begin(); it != admitted_.end(); ++it) {
     if (it->id == task_id) {
+      mem_used_ -= it->mem_bytes;
+      warps_used_ -= it->warps;
       admitted_.erase(it);
       return true;
     }

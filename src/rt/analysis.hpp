@@ -12,6 +12,7 @@
 // simulator: the analytical pivot must bracket the empirical one.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "gpu/context_pool.hpp"
@@ -65,6 +66,12 @@ UtilizationReport utilization_test(const std::vector<Task>& tasks,
                                    const PoolCapacityModel& capacity,
                                    double safety_margin = 1.0);
 
+/// One task's demanded 1-SM work per second, evaluated exactly as the
+/// utilization test sees it (first profiled SM size, representative conv
+/// speedup). Exposed so placement policies can order candidates by the
+/// same load metric admission uses.
+double task_work_rate(const Task& task);
+
 struct ResponseTimeReport {
   /// Heuristic worst-case response estimate per task (seconds).
   std::vector<double> response_sec;
@@ -79,21 +86,54 @@ ResponseTimeReport response_time_estimate(const std::vector<Task>& tasks,
                                           const PoolCapacityModel& capacity,
                                           int pool_sms);
 
+/// Physical resource budget of the device behind a pool. Zero fields mean
+/// "unconstrained" — raw tasks and legacy call sites keep passing.
+struct ResourceBudget {
+  std::int64_t mem_bytes = 0;
+  std::int64_t total_warps = 0;
+  /// Fraction of the warp capacity admission may commit (CASE uses 0.9).
+  double occupancy_threshold = 0.9;
+};
+
+/// Why an admission attempt failed (or that it succeeded). Memory is
+/// tested last, so kRejectedMemory means memory was the *sole* remaining
+/// blocker — the stream would have fit by compute alone.
+enum class AdmitOutcome {
+  kAdmitted,
+  kRejectedUtilization,
+  kRejectedOccupancy,
+  kRejectedMemory,
+};
+
 /// Admission controller: accepts tasks one at a time while the utilization
-/// test (with margin) and the response-time estimate both pass.
+/// test (with margin), the response-time estimate, and the physical
+/// resource budget (memory, warp occupancy) all pass.
 class AdmissionController {
  public:
   AdmissionController(PoolCapacityModel capacity, int pool_sms,
-                      double safety_margin = 0.95)
-      : capacity_(capacity), pool_sms_(pool_sms), margin_(safety_margin) {}
+                      double safety_margin = 0.95,
+                      ResourceBudget budget = ResourceBudget{})
+      : capacity_(capacity),
+        pool_sms_(pool_sms),
+        margin_(safety_margin),
+        budget_(budget) {}
 
   /// Tries to admit `task`; returns true and retains it if the augmented
-  /// set still passes both tests.
-  bool try_admit(const Task& task);
+  /// set still passes every test.
+  bool try_admit(const Task& task) {
+    return try_admit_ex(task) == AdmitOutcome::kAdmitted;
+  }
+
+  /// As try_admit, but reports which test rejected the task.
+  AdmitOutcome try_admit_ex(const Task& task);
 
   /// Records `task` without testing (admission control disabled, or the
   /// decision was made elsewhere); load accounting stays accurate.
-  void force_admit(const Task& task) { admitted_.push_back(task); }
+  void force_admit(const Task& task) {
+    mem_used_ += task.mem_bytes;
+    warps_used_ += task.warps;
+    admitted_.push_back(task);
+  }
 
   /// Releases the capacity held by task `task_id` (stream retired or
   /// re-placed elsewhere). Returns false when no admitted task has the id.
@@ -101,12 +141,20 @@ class AdmissionController {
 
   const std::vector<Task>& admitted() const { return admitted_; }
   double current_utilization() const;
+  std::int64_t mem_used() const { return mem_used_; }
+  std::int64_t warps_used() const { return warps_used_; }
+  const ResourceBudget& budget() const { return budget_; }
 
  private:
   PoolCapacityModel capacity_;
   int pool_sms_;
   double margin_;
+  ResourceBudget budget_;
   std::vector<Task> admitted_;
+  /// Integer resource accounting: exact under any admit/remove order, so
+  /// sharded and replayed runs see identical budgets.
+  std::int64_t mem_used_ = 0;
+  std::int64_t warps_used_ = 0;
 };
 
 }  // namespace sgprs::rt

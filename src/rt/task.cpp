@@ -57,6 +57,13 @@ Task build_task(int id, std::shared_ptr<const dnn::Network> network,
   }
   // Guard against rounding: the final stage deadline must equal D_i.
   task.stages.back().virtual_deadline_offset = task.deadline;
+
+  // Placement footprint from the same profile pass (every construction
+  // path — identical-task, spec, fleet prototypes — flows through here).
+  const dnn::TaskFootprint fp =
+      profiler.footprint(*network, ref_sms, task.period.to_sec());
+  task.mem_bytes = fp.mem_bytes;
+  task.warps = fp.warps;
   return task;
 }
 

@@ -7,6 +7,7 @@
 // stage's share of the whole-network WCET.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,12 @@ struct Task {
   std::vector<StageInfo> stages;
   /// Isolated per-stage WCETs at each pool SM size (offline measurement).
   dnn::WcetTable wcet;
+  /// Placement footprint (dnn::Profiler::footprint, or spec overrides):
+  /// device memory held while the stream is admitted, and time-averaged
+  /// resident warps. Zero means unconstrained — raw tasks built without
+  /// the offline phase take no memory/occupancy budget.
+  std::int64_t mem_bytes = 0;
+  std::int64_t warps = 0;
 
   int stage_count() const { return static_cast<int>(stages.size()); }
 };

@@ -78,6 +78,10 @@ void write_template(const fleet::StreamTemplate& t, std::ostream& out) {
     w.field_exact("max_separation_ms", t.max_separation_ms);
   }
   w.field("tier", t.tier);
+  // Footprint overrides are only written when set, so traces recorded
+  // before (or without) them stay byte-stable.
+  if (t.mem_mb >= 0.0) w.field_exact("mem_mb", t.mem_mb);
+  if (t.warps >= 0) w.field("warps", static_cast<std::int64_t>(t.warps));
   w.end_object();
 }
 

@@ -330,8 +330,15 @@ struct RunOutcome {
   double fps_on_time = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double oom = 0.0;
   std::string error;
 };
+
+double oom_of(const SpecResult& r) {
+  if (r.dynamic) return static_cast<double>(r.dyn.streams_oom_rejected);
+  if (r.fleet) return static_cast<double>(r.cluster.fleet.tasks_oom_rejected);
+  return 0.0;
+}
 
 /// One (cell, replication) job against the cell's shared immutable spec.
 /// Replications differ only in their derived seeds, so the spec is built
@@ -352,6 +359,7 @@ RunOutcome run_one(const ExperimentSpec& spec, const ScenarioSpec& cell_spec,
     o.fps_on_time = a.fps_on_time;
     o.p50_ms = a.p50_latency_ms;
     o.p99_ms = a.p99_latency_ms;
+    o.oom = oom_of(r);
   } catch (const std::exception& e) {
     o.error = e.what();
   }
@@ -435,6 +443,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
     cr.fps_on_time.add(o.fps_on_time);
     cr.p50_latency_ms.add(o.p50_ms);
     cr.p99_latency_ms.add(o.p99_ms);
+    cr.oom_rejected.add(o.oom);
   }
   return result;
 }
@@ -452,7 +461,7 @@ void print_experiment(const ExperimentResult& r, std::ostream& out) {
     for (const auto& [k, v] : r.cells.front().coords) headers.push_back(k);
   }
   for (const char* h : {"runs", "DMR", "ci95", "on-time FPS", "ci95",
-                        "p99 (ms)", "ci95", "fail"}) {
+                        "p99 (ms)", "ci95", "oom", "fail"}) {
     headers.push_back(h);
   }
 
@@ -474,6 +483,7 @@ void print_experiment(const ExperimentResult& r, std::ostream& out) {
     row.push_back(metrics::Table::fmt(fot.half_width, 1));
     row.push_back(metrics::Table::fmt(p99.mean, 2));
     row.push_back(metrics::Table::fmt(p99.half_width, 2));
+    row.push_back(metrics::Table::fmt(cell.oom_rejected.mean(), 1));
     row.push_back(std::to_string(cell.failures));
     t.add_row(std::move(row));
   }
@@ -510,7 +520,7 @@ void json_metric(common::JsonWriter& w, const std::string& key,
 }
 
 constexpr const char* kMetricNames[] = {"dmr", "fps", "fps_on_time",
-                                        "p50_ms", "p99_ms"};
+                                        "p50_ms", "p99_ms", "oom_rejected"};
 
 }  // namespace
 
@@ -543,6 +553,7 @@ void write_experiment_csv(const ExperimentResult& r, std::ostream& out) {
     csv_metric_cells(row, cell.fps_on_time);
     csv_metric_cells(row, cell.p50_latency_ms);
     csv_metric_cells(row, cell.p99_latency_ms);
+    csv_metric_cells(row, cell.oom_rejected);
     row.push_back(cell.first_error);
     csv.row(row);
   }
@@ -573,6 +584,7 @@ void write_experiment_json(const ExperimentResult& r, std::ostream& out) {
     json_metric(w, "fps_on_time", cell.fps_on_time);
     json_metric(w, "p50_latency_ms", cell.p50_latency_ms);
     json_metric(w, "p99_latency_ms", cell.p99_latency_ms);
+    json_metric(w, "oom_rejected", cell.oom_rejected);
     w.end_object();
   }
   w.end_array();

@@ -117,6 +117,9 @@ struct CellResult {
   common::RunningStats fps_on_time;
   common::RunningStats p50_latency_ms;
   common::RunningStats p99_latency_ms;
+  /// Streams/tasks rejected with memory as the sole blocker (0 for
+  /// single-device runs, which have no placer).
+  common::RunningStats oom_rejected;
 
   /// "scheduler=sgprs utilization=2.5"; "all" when the grid has no axes.
   std::string label() const;

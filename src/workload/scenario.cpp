@@ -1,6 +1,7 @@
 #include "workload/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "cluster/cluster.hpp"
@@ -102,6 +103,13 @@ void validate(const ScenarioConfig& cfg) {
   SGPRS_CHECK_MSG(cfg.admission_margin <= 1.0,
                   "admission_margin must be a fraction in (0, 1] (or <= 0 "
                   "to disable admission), got " << cfg.admission_margin);
+  SGPRS_CHECK_MSG(cfg.occupancy_threshold > 0.0 &&
+                      cfg.occupancy_threshold <= 1.0,
+                  "occupancy_threshold must be a fraction in (0, 1], got "
+                      << cfg.occupancy_threshold);
+  SGPRS_CHECK_MSG(cfg.device_mem_mb >= 0.0,
+                  "device_mem_mb must be >= 0 (0 keeps the device default), "
+                  "got " << cfg.device_mem_mb);
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg,
@@ -170,8 +178,15 @@ ClusterScenarioResult run_cluster_scenario(const ScenarioConfig& cfg,
   ccfg.devices = cfg.fleet.empty() ? std::vector<gpu::DeviceSpec>(
                                          cfg.num_devices, cfg.device)
                                    : cfg.fleet;
+  if (cfg.device_mem_mb > 0.0) {
+    for (auto& spec : ccfg.devices) {
+      spec.mem_bytes =
+          static_cast<std::int64_t>(std::llround(cfg.device_mem_mb * 1048576.0));
+    }
+  }
   ccfg.placement = cfg.placement;
   ccfg.admission_margin = cfg.admission_margin;
+  ccfg.occupancy_threshold = cfg.occupancy_threshold;
   ccfg.scheduler = cfg.scheduler;
   ccfg.pool = pool_config_for(cfg);
   ccfg.sgprs = cfg.sgprs;

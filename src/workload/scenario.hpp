@@ -75,6 +75,11 @@ struct ScenarioConfig {
   /// Fleet admission budget (fraction of saturated per-device capacity);
   /// <= 0 disables admission control so every task is placed.
   double admission_margin = 0.95;
+  /// Admissible fraction of each device's resident-warp capacity.
+  double occupancy_threshold = 0.9;
+  /// Device memory override in MiB, applied to every device spec (the
+  /// memory-constrained scenarios); 0 keeps each spec's own budget.
+  double device_mem_mb = 0.0;
 
   /// Intra-run parallelism for dynamic (fleet-runtime) specs: partition
   /// the device fleet into this many shards, each on its own event

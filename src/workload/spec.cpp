@@ -111,7 +111,9 @@ void parse_naive(const JsonValue& v, ScenarioConfig& cfg,
 void parse_fleet(const JsonValue& v, ScenarioSpec& spec,
                  const std::string& path) {
   require_object(v, path);
-  check_keys(v, {"devices", "placement", "admission_margin"}, path);
+  check_keys(v, {"devices", "placement", "admission_margin",
+                 "occupancy_threshold", "device_mem_mb"},
+             path);
   spec.fleet_mode = true;
   if (const JsonValue* devices = v.find("devices")) {
     if (devices->is_number()) {
@@ -151,6 +153,10 @@ void parse_fleet(const JsonValue& v, ScenarioSpec& spec,
   }
   spec.base.admission_margin =
       num_or(v, "admission_margin", spec.base.admission_margin, path);
+  spec.base.occupancy_threshold =
+      num_or(v, "occupancy_threshold", spec.base.occupancy_threshold, path);
+  spec.base.device_mem_mb =
+      num_or(v, "device_mem_mb", spec.base.device_mem_mb, path);
 }
 
 TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
@@ -158,7 +164,7 @@ TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
   check_keys(v,
              {"name", "count", "network", "fps", "stages", "deadline_ms",
               "phase_ms", "priority", "arrival", "min_separation_ms",
-              "max_separation_ms", "tier"},
+              "max_separation_ms", "tier", "mem_mb", "warps"},
              path);
   TaskEntrySpec e;
   e.name = str_or(v, "name", e.name, path);
@@ -177,6 +183,10 @@ TaskEntrySpec parse_task_entry(const JsonValue& v, const std::string& path) {
   e.max_separation_ms =
       num_or(v, "max_separation_ms", e.max_separation_ms, path);
   e.tier = int_or(v, "tier", e.tier, path);
+  e.mem_mb = num_or(v, "mem_mb", e.mem_mb, path);
+  if (const JsonValue* w = v.find("warps")) {
+    e.warps = get_field("warps", path, [&] { return w->as_int(); });
+  }
   // For sporadic tasks fps is only a shorthand for min_separation =
   // 1000/fps; stating both invites silent disagreement, so reject it.
   if (e.arrival == rt::ArrivalModel::kSporadic && v.find("fps") &&
@@ -381,6 +391,14 @@ void validate(const ScenarioSpec& spec) {
       bad(path, "separations only apply to arrival=sporadic");
     }
     if (e.tier < 0) bad(path + ".tier", "must be >= 0");
+    if (e.mem_mb < 0.0 && e.mem_mb != -1.0) {
+      bad(path + ".mem_mb", "must be >= 0 (or omitted to derive from the "
+                            "network)");
+    }
+    if (e.warps < -1) {
+      bad(path + ".warps", "must be >= 0 (or omitted to derive from the "
+                           "network)");
+    }
   }
 
   if (spec.timeline) {
@@ -501,6 +519,11 @@ std::vector<rt::Task> build_spec_tasks(const ScenarioSpec& spec,
     for (int i = 0; i < e.count; ++i) {
       rt::Task t = rt::build_task(id, it->second, tc, profiler, pool_sizes);
       t.name = e.name + std::to_string(id);
+      if (e.mem_mb >= 0.0) {
+        t.mem_bytes =
+            static_cast<std::int64_t>(std::llround(e.mem_mb * 1048576.0));
+      }
+      if (e.warps >= 0) t.warps = e.warps;
       if (e.phase_ms >= 0.0) {
         t.phase = common::SimTime::from_ms(e.phase_ms);
       } else if (cfg.jitter_phases) {
@@ -549,6 +572,10 @@ void capture_static_run(const ScenarioSpec& spec,
     st.priority_policy =
         e ? e->priority_policy : rt::PriorityPolicy::kLastStageHigh;
     st.tier = e ? e->tier : 0;
+    if (e) {
+      st.mem_mb = e->mem_mb;
+      st.warps = e->warps;
+    }
     if (t.arrival == rt::ArrivalModel::kSporadic) {
       st.arrival = rt::ArrivalModel::kSporadic;
       st.fps = 1000.0 / t.min_separation.to_ms();

@@ -51,6 +51,11 @@ struct TaskEntrySpec {
   /// priority-aware load shedding. Initial task entries default to 0;
   /// timeline templates default to 1.
   int tier = 0;
+  /// Placement footprint overrides. < 0 (default) keeps the footprint the
+  /// profiler derives from the network; >= 0 pins memory (MiB) and/or
+  /// time-averaged resident warps explicitly.
+  double mem_mb = -1.0;
+  long long warps = -1;
 };
 
 /// UUniFast task-set generator (workload/taskset.hpp), for capacity

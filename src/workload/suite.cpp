@@ -101,17 +101,28 @@ std::string rejected_streams_cell(const SuiteRun& r) {
 std::string shed_jobs_cell(const SuiteRun& r) {
   return r.result.dynamic ? std::to_string(r.result.dyn.jobs_shed) : "-";
 }
+/// OOM rejections exist on both fleet paths (open- and closed-world); only
+/// single-device rows show "-".
+std::string oom_cell(const SuiteRun& r) {
+  if (r.result.dynamic) {
+    return std::to_string(r.result.dyn.streams_oom_rejected);
+  }
+  if (r.result.fleet) {
+    return std::to_string(r.result.cluster.fleet.tasks_oom_rejected);
+  }
+  return "-";
+}
 
 }  // namespace
 
 void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
   metrics::Table t({"scenario", "tasks", "devs", "FPS", "on-time", "DMR",
-                    "p99 (ms)", "migr", "peak devs", "rej streams", "shed",
-                    "status"});
+                    "p99 (ms)", "migr", "peak devs", "rej streams", "oom",
+                    "shed", "status"});
   for (const auto& r : runs) {
     if (!r.ok) {
       t.add_row({r.scenario, "-", "-", "-", "-", "-", "-", "-", "-", "-",
-                 "-", "FAILED"});
+                 "-", "-", "FAILED"});
       continue;
     }
     const auto& a = r.result.aggregate();
@@ -121,7 +132,8 @@ void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
                metrics::Table::pct(a.dmr),
                metrics::Table::fmt(a.p99_latency_ms, 2),
                std::to_string(r.result.migrations()), peak_devices_cell(r),
-               rejected_streams_cell(r), shed_jobs_cell(r), "ok"});
+               rejected_streams_cell(r), oom_cell(r), shed_jobs_cell(r),
+               "ok"});
   }
   t.print(out);
   for (const auto& r : runs) {
@@ -133,16 +145,17 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
   common::CsvWriter csv(out);
   csv.header({"scenario", "file", "status", "tasks", "devices", "fps",
               "fps_on_time", "dmr", "p50_ms", "p99_ms", "releases",
-              "migrations", "peak_devices", "rejected_streams", "shed_jobs",
-              "field_path", "error"});
+              "migrations", "peak_devices", "rejected_streams",
+              "oom_streams", "shed_jobs", "field_path", "error"});
   for (const auto& r : runs) {
     if (!r.ok) {
       csv.row({r.scenario, r.file, "failed", "", "", "", "", "", "", "", "",
-               "", "", "", "", r.field_path, r.error});
+               "", "", "", "", "", r.field_path, r.error});
       continue;
     }
     const auto& a = r.result.aggregate();
     const bool dyn = r.result.dynamic;
+    const std::string oom = oom_cell(r);
     csv.row({r.scenario, r.file, "ok", placed_cell(r),
              std::to_string(device_count(r)),
              common::CsvWriter::num(a.fps, 2),
@@ -154,6 +167,7 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
              std::to_string(r.result.migrations()),
              dyn ? std::to_string(r.result.dyn.peak_devices) : "",
              dyn ? std::to_string(r.result.dyn.streams_rejected) : "",
+             oom == "-" ? "" : oom,
              dyn ? std::to_string(r.result.dyn.jobs_shed) : "", "", ""});
   }
 }
@@ -185,6 +199,7 @@ void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
       w.field("streams_admitted", d.streams_admitted);
       w.field("streams_retired", d.streams_retired);
       w.field("streams_rejected", d.streams_rejected);
+      w.field("streams_oom_rejected", d.streams_oom_rejected);
       w.field("jobs_shed", d.jobs_shed);
       w.field("peak_devices", static_cast<std::int64_t>(d.peak_devices));
       w.field("scale_ups", static_cast<std::int64_t>(d.scale_ups));
@@ -194,6 +209,9 @@ void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
               static_cast<std::int64_t>(r.result.cluster.fleet.tasks_assigned));
       w.field("tasks_rejected",
               static_cast<std::int64_t>(r.result.cluster.fleet.tasks_rejected));
+      w.field("tasks_oom_rejected",
+              static_cast<std::int64_t>(
+                  r.result.cluster.fleet.tasks_oom_rejected));
     } else {
       w.field("tasks",
               static_cast<std::int64_t>(r.result.single.per_task.size()));

@@ -5,6 +5,7 @@
 // happen only when no device admits the task.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -66,8 +67,9 @@ rt::Task make_task(int id, const std::string& name, double frac) {
 
 TEST(PlacerProperty, NoPlacementEverExceedsTheAdmissionBound) {
   const PlacementPolicy policies[] = {
-      PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
-      PlacementPolicy::kBinPackUtilization, PlacementPolicy::kHashAffinity};
+      PlacementPolicy::kRoundRobin,          PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kBinPackUtilization,  PlacementPolicy::kBinPackMemory,
+      PlacementPolicy::kWorstFit,            PlacementPolicy::kHashAffinity};
 
   for (const auto policy : policies) {
     for (int stream = 0; stream < kStreamsPerPolicy; ++stream) {
@@ -115,6 +117,66 @@ TEST(PlacerProperty, NoPlacementEverExceedsTheAdmissionBound) {
   }
 }
 
+TEST(PlacerProperty, MemoryAndOccupancyBudgetsHoldForEveryPolicy) {
+  // ~200 seeded random fleets: whatever the policy and the mix of
+  // footprints, no device ever holds more task memory than its mem_bytes
+  // or more resident warps than threshold * total_warps, and every oom
+  // rejection really had memory as a blocker somewhere.
+  const PlacementPolicy policies[] = {
+      PlacementPolicy::kRoundRobin,          PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kBinPackUtilization,  PlacementPolicy::kBinPackMemory,
+      PlacementPolicy::kWorstFit,            PlacementPolicy::kHashAffinity};
+  constexpr double kOccupancy = 0.9;
+  int fleets = 0;
+  for (const auto policy : policies) {
+    for (int stream = 0; stream < 34; ++stream) {
+      ++fleets;
+      common::Rng rng(static_cast<std::uint64_t>(stream) * 977 +
+                      static_cast<std::uint64_t>(policy) * 13 + 5);
+      std::vector<PlacerDevice> devices;
+      std::vector<std::int64_t> mem_budget;
+      std::vector<std::int64_t> warp_budget;
+      const int n = static_cast<int>(rng.uniform_int(2, 5));
+      for (int d = 0; d < n; ++d) {
+        PlacerDevice dev =
+            rng.next_double() < 0.5 ? small_device() : big_device();
+        // Tight budgets (2-6 GiB) so memory actually binds.
+        dev.spec.mem_bytes =
+            static_cast<std::int64_t>(rng.uniform_int(2, 6)) * (1ll << 30);
+        devices.push_back(dev);
+        mem_budget.push_back(dev.spec.mem_bytes);
+        warp_budget.push_back(dev.spec.total_warps());
+      }
+      Placer placer(devices, policy, kMargin, kOccupancy);
+
+      std::vector<std::int64_t> mem_used(devices.size(), 0);
+      std::vector<std::int64_t> warps_used(devices.size(), 0);
+      const int offered = static_cast<int>(rng.uniform_int(15, 45));
+      for (int i = 0; i < offered; ++i) {
+        rt::Task t = make_task(
+            i, "t" + std::to_string(rng.uniform_int(0, 6)),
+            rng.uniform(0.02, 0.3));
+        t.mem_bytes = static_cast<std::int64_t>(
+            rng.uniform(0.0, 2.5) * static_cast<double>(1ll << 30));
+        t.warps = static_cast<std::int64_t>(rng.uniform_int(0, 400));
+        const PlaceResult r = placer.place_ex(t);
+        if (!r.device) continue;
+        const int d = *r.device;
+        mem_used[d] += t.mem_bytes;
+        warps_used[d] += t.warps;
+        ASSERT_LE(mem_used[d], mem_budget[d])
+            << "policy " << to_string(policy) << " fleet " << stream;
+        ASSERT_LE(static_cast<double>(warps_used[d]),
+                  kOccupancy * static_cast<double>(warp_budget[d]) + 1e-9)
+            << "policy " << to_string(policy) << " fleet " << stream;
+        EXPECT_EQ(placer.remaining_mem_bytes(d), mem_budget[d] - mem_used[d]);
+      }
+      EXPECT_LE(placer.oom_rejected(), placer.rejected());
+    }
+  }
+  EXPECT_EQ(fleets, 204);
+}
+
 TEST(PlacerProperty, RejectionImpliesNoDeviceCouldAdmit) {
   // Whenever the placer rejects, by construction every device must be
   // within `frac` of the margin — verify with a task small enough to fit
@@ -138,8 +200,8 @@ TEST(PlacerProperty, RejectionImpliesNoDeviceCouldAdmit) {
 TEST(PlacerProperty, DisabledAdmissionNeverRejects) {
   for (const auto policy :
        {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
-        PlacementPolicy::kBinPackUtilization,
-        PlacementPolicy::kHashAffinity}) {
+        PlacementPolicy::kBinPackUtilization, PlacementPolicy::kBinPackMemory,
+        PlacementPolicy::kWorstFit, PlacementPolicy::kHashAffinity}) {
     Placer placer({small_device(), big_device()}, policy,
                   /*admission_margin=*/0.0);
     common::Rng rng(1234);

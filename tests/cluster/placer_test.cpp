@@ -89,9 +89,26 @@ TEST(Placer, LeastLoadedEvensOutUtilizationFraction) {
   EXPECT_NEAR(p.utilization(0), p.utilization(1), 0.11);
 }
 
-TEST(Placer, BinPackWorstFitPrefersLargestSpareCapacity) {
+TEST(Placer, BinPackBestFitPrefersSmallestSpareThatAdmits) {
   Placer p({small_device(), big_device()},
            PlacementPolicy::kBinPackUtilization);
+  const auto cap = small_device().capacity;
+  // Best-fit: the 2080 Ti has the smaller absolute spare capacity and the
+  // task fits there, so binpack must start on device 0 — the 3090 is held
+  // back for work that needs it. (The pre-fix placer sorted spare
+  // *descending*; that behaviour lives on as kWorstFit below.)
+  EXPECT_EQ(p.place(make_task(0, "a", 0.05, cap)), std::optional<int>(0));
+  // It keeps filling the smaller device while tasks still fit there.
+  EXPECT_EQ(p.place(make_task(1, "b", 0.05, cap)), std::optional<int>(0));
+  EXPECT_EQ(p.task_count(1), 0);
+  // A task too big for the 2080 Ti's remaining headroom spills to the
+  // 3090 instead of being rejected.
+  EXPECT_EQ(p.place(make_task(2, "big", 0.9, cap, 10.0)),
+            std::optional<int>(1));
+}
+
+TEST(Placer, WorstFitPrefersLargestSpareCapacity) {
+  Placer p({small_device(), big_device()}, PlacementPolicy::kWorstFit);
   const auto cap = small_device().capacity;
   // The 3090 has the larger absolute spare capacity, so — unlike
   // least-loaded, which ties on fraction and picks device 0 — worst-fit
@@ -100,6 +117,21 @@ TEST(Placer, BinPackWorstFitPrefersLargestSpareCapacity) {
   // It keeps choosing the bigger device until its spare dips below the
   // 2080 Ti's.
   EXPECT_GT(p.task_count(1), 0);
+}
+
+TEST(Placer, RemainingCapacityClampsAtZeroUnderForcedOverload) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device()}, PlacementPolicy::kRoundRobin,
+           /*admission_margin=*/0.0);
+  // Disabled-margin placement accepts far more work than the device has
+  // capacity for; the spare-capacity readout must saturate at zero, not
+  // go negative (regression: it used to return budget - offered raw).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        p.place(make_task(i, "t" + std::to_string(i), 0.5, cap)).has_value());
+  }
+  EXPECT_GT(p.utilization(0), 1.0);
+  EXPECT_EQ(p.remaining_capacity(0), 0.0);
 }
 
 TEST(Placer, HashAffinityIsDeterministicAndSticky) {
@@ -174,6 +206,167 @@ TEST(Placer, HeterogeneousPoolCapacityModelsPerContextSizes) {
       speedup, gpu::SharingParams{}, 68, std::vector<int>{34, 34}, 4);
   EXPECT_DOUBLE_EQ(uniform.work_rate, uniform_as_list.work_rate);
   EXPECT_EQ(uniform.total_slots, uniform_as_list.total_slots);
+}
+
+TEST(Placer, HashAffinityRehomesWhenTheFleetGrows) {
+  // Pins the documented caveat (docs/online-fleet.md): homes are
+  // fnv1a(name) % active_devices, so adding a device re-homes names to
+  // the new modulus — a grown placer agrees with a placer *built* at the
+  // larger size, not with its own earlier assignments.
+  const auto cap = small_device().capacity;
+  const std::vector<std::string> names = {"cam-0", "cam-1", "cam-2",
+                                          "cam-3", "cam-7", "lidar-1"};
+  Placer grown({small_device(), small_device(), small_device(),
+                small_device()},
+               PlacementPolicy::kHashAffinity);
+  Placer fresh5({small_device(), small_device(), small_device(),
+                 small_device(), small_device()},
+                PlacementPolicy::kHashAffinity);
+  grown.add_device(small_device());
+  int id = 0;
+  bool any_rehomed = false;
+  for (const auto& name : names) {
+    Placer fresh4({small_device(), small_device(), small_device(),
+                   small_device()},
+                  PlacementPolicy::kHashAffinity);
+    const auto old_home = fresh4.place(make_task(id, name, 0.01, cap));
+    const auto new_home = grown.place(make_task(id, name, 0.01, cap));
+    const auto want = fresh5.place(make_task(id, name, 0.01, cap));
+    ASSERT_TRUE(new_home.has_value());
+    EXPECT_EQ(new_home, want) << name;
+    any_rehomed = any_rehomed || new_home != old_home;
+    ++id;
+  }
+  // At least one of these names maps differently mod 5 than mod 4 —
+  // the mid-run re-homing the docs warn about.
+  EXPECT_TRUE(any_rehomed);
+}
+
+/// `mem_gib` of the device's 11 GiB budget, `frac` of its work rate.
+rt::Task make_mem_task(int id, const std::string& name, double frac,
+                       double mem_gib, const rt::PoolCapacityModel& cap,
+                       double deadline_factor = 1.0) {
+  rt::Task t = make_task(id, name, frac, cap, deadline_factor);
+  t.mem_bytes = static_cast<std::int64_t>(mem_gib * (1ll << 30));
+  return t;
+}
+
+PlacerDevice small_device_with_mem(double mem_gib) {
+  PlacerDevice d = small_device();
+  d.spec.mem_bytes = static_cast<std::int64_t>(mem_gib * (1ll << 30));
+  return d;
+}
+
+TEST(Placer, BinPackMemoryPacksFewerDevicesThanLeastLoaded) {
+  const auto cap = small_device().capacity;
+  const auto fleet = [] {
+    return std::vector<PlacerDevice>{
+        small_device_with_mem(4.0), small_device_with_mem(4.0),
+        small_device_with_mem(4.0), small_device_with_mem(4.0)};
+  };
+  Placer packer(fleet(), PlacementPolicy::kBinPackMemory);
+  Placer spreader(fleet(), PlacementPolicy::kLeastLoaded);
+  // Eight 1 GiB streams with negligible compute: memory is the binding
+  // dimension.
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    ASSERT_TRUE(packer.place(make_mem_task(i, name, 0.01, 1.0, cap)));
+    ASSERT_TRUE(spreader.place(make_mem_task(i, name, 0.01, 1.0, cap)));
+  }
+  auto devices_used = [](const Placer& p) {
+    int used = 0;
+    for (int d = 0; d < p.num_devices(); ++d) {
+      used += p.task_count(d) > 0 ? 1 : 0;
+    }
+    return used;
+  };
+  // Same admitted work, strictly fewer devices touched: best-fit memory
+  // packing fills a device before opening the next one.
+  EXPECT_EQ(devices_used(packer), 2);
+  EXPECT_EQ(devices_used(spreader), 4);
+  // And every placement respected the per-device budget.
+  for (int d = 0; d < packer.num_devices(); ++d) {
+    EXPECT_GE(packer.remaining_mem_bytes(d), 0);
+  }
+}
+
+TEST(Placer, PlaceExClassifiesMemoryExhaustionAsOom) {
+  const auto cap = small_device().capacity;
+  Placer p({small_device_with_mem(2.0)}, PlacementPolicy::kLeastLoaded);
+  ASSERT_TRUE(p.place(make_mem_task(0, "a", 0.05, 1.5, cap)).has_value());
+  // Plenty of compute headroom, no memory: oom.
+  const PlaceResult oom = p.place_ex(make_mem_task(1, "b", 0.05, 1.0, cap));
+  EXPECT_FALSE(oom.device.has_value());
+  EXPECT_TRUE(oom.oom);
+  EXPECT_EQ(p.rejected(), 1);
+  EXPECT_EQ(p.oom_rejected(), 1);
+  // Plenty of memory, no compute: a plain rejection, not oom. (Relaxed
+  // deadlines so the utilization budget, not response time, binds.)
+  Placer q({small_device_with_mem(8.0)}, PlacementPolicy::kLeastLoaded);
+  ASSERT_TRUE(q.place(make_mem_task(0, "a", 0.45, 1.0, cap, 10.0)).has_value());
+  ASSERT_TRUE(q.place(make_mem_task(1, "b", 0.45, 1.0, cap, 10.0)).has_value());
+  const PlaceResult util =
+      q.place_ex(make_mem_task(2, "c", 0.45, 1.0, cap, 10.0));
+  EXPECT_FALSE(util.device.has_value());
+  EXPECT_FALSE(util.oom);
+  EXPECT_EQ(q.oom_rejected(), 0);
+}
+
+TEST(Placer, PlaceBatchMatchesSequentialPlacementForStableOrderPolicies) {
+  // For every policy that does not reorder its input (everything except
+  // the two binpack BFD policies), one batched call must produce exactly
+  // the placements sequential place() calls produce.
+  const auto cap = small_device().capacity;
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+        PlacementPolicy::kWorstFit, PlacementPolicy::kHashAffinity}) {
+    Placer seq({small_device(), big_device(), small_device()}, policy);
+    Placer batch({small_device(), big_device(), small_device()}, policy);
+    std::vector<rt::Task> tasks;
+    for (int i = 0; i < 12; ++i) {
+      tasks.push_back(make_task(i, "t" + std::to_string(i % 5),
+                                0.05 + 0.03 * (i % 4), cap));
+    }
+    std::vector<std::optional<int>> want;
+    for (const auto& t : tasks) want.push_back(seq.place(t));
+    const std::vector<PlaceResult> got = batch.place_batch(tasks);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].device, want[i])
+          << "policy " << to_string(policy) << " task " << i;
+    }
+  }
+}
+
+TEST(Placer, PlaceBatchBinPackPlacesDecreasing) {
+  // The binpack batch path is CASE-style best-fit-*decreasing*: items are
+  // placed heaviest-first, so a big task is never stranded by small ones
+  // that could have fit anywhere.
+  const auto cap = small_device().capacity;
+  auto fleet = [] {
+    return std::vector<PlacerDevice>{small_device_with_mem(4.0),
+                                     small_device_with_mem(4.0)};
+  };
+  // {1, 1, 3, 3} GiB onto two 4 GiB devices, submitted small-first:
+  // sequential best-fit strands the last 3 GiB task (1 GiB holes on both
+  // devices), BFD packs {3,1} + {3,1} and fits everything.
+  std::vector<rt::Task> tasks;
+  tasks.push_back(make_mem_task(0, "s0", 0.01, 1.0, cap));
+  tasks.push_back(make_mem_task(1, "s1", 0.01, 1.0, cap));
+  tasks.push_back(make_mem_task(2, "b0", 0.01, 3.0, cap));
+  tasks.push_back(make_mem_task(3, "b1", 0.01, 3.0, cap));
+  Placer seq(fleet(), PlacementPolicy::kBinPackMemory);
+  int seq_placed = 0;
+  for (const auto& t : tasks) seq_placed += seq.place(t) ? 1 : 0;
+  EXPECT_EQ(seq_placed, 3);
+  EXPECT_EQ(seq.oom_rejected(), 1);
+  Placer batch(fleet(), PlacementPolicy::kBinPackMemory);
+  const auto results = batch.place_batch(tasks);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.device.has_value());
+    EXPECT_FALSE(r.oom);
+  }
+  EXPECT_EQ(batch.oom_rejected(), 0);
 }
 
 TEST(Placer, DisabledAdmissionPlacesEverything) {

@@ -55,6 +55,7 @@ TEST(ShardDeterminismTest, CuratedScenariosByteIdenticalAcrossShardCounts) {
       "scenarios/flash_crowd.json",
       "scenarios/tenant_churn.json",
       "scenarios/scale_down_drain.json",
+      "scenarios/memory_constrained.json",
   };
   for (const auto& path : scenarios) {
     SCOPED_TRACE(path);
@@ -68,6 +69,22 @@ TEST(ShardDeterminismTest, CuratedScenariosByteIdenticalAcrossShardCounts) {
       EXPECT_EQ(baseline, run_bytes(spec, shards));
     }
   }
+}
+
+TEST(ShardDeterminismTest, MemoryConstrainedOomStableAcrossShardCounts) {
+  // The memory-constrained scenario rejects streams with VRAM as the sole
+  // blocker; that oom classification — counters, series column, audit
+  // records — must be part of the byte-identical surface, not just the
+  // happy-path placements (ISSUE acceptance: --shards 1 vs 8).
+  const auto spec = load_spec("scenarios/memory_constrained.json");
+  FleetRunResult classic;
+  const std::string baseline = run_bytes(spec, 1, &classic);
+  EXPECT_GT(classic.streams_admitted, 0);
+  EXPECT_GT(classic.streams_oom_rejected, 0);
+  EXPECT_LE(classic.streams_oom_rejected, classic.streams_rejected);
+  FleetRunResult sharded;
+  EXPECT_EQ(baseline, run_bytes(spec, 8, &sharded));
+  EXPECT_EQ(classic.streams_oom_rejected, sharded.streams_oom_rejected);
 }
 
 TEST(ShardDeterminismTest, TraceDrivenReplayByteIdenticalAcrossShardCounts) {

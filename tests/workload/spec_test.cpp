@@ -101,6 +101,44 @@ TEST(SpecParse, FleetSection) {
   EXPECT_TRUE(counted.base.fleet.empty()) << "count = copies of base.device";
 }
 
+TEST(SpecParse, FootprintAndMemoryKeys) {
+  const auto spec = parse(R"({
+    "fleet": { "devices": 2, "placement": "binpack_memory",
+               "occupancy_threshold": 0.8, "device_mem_mb": 4096 },
+    "tasks": [
+      { "count": 1, "mem_mb": 512.5, "warps": 96 },
+      { "count": 1 }
+    ]
+  })");
+  EXPECT_EQ(spec.base.placement, cluster::PlacementPolicy::kBinPackMemory);
+  EXPECT_DOUBLE_EQ(spec.base.occupancy_threshold, 0.8);
+  EXPECT_DOUBLE_EQ(spec.base.device_mem_mb, 4096.0);
+  EXPECT_DOUBLE_EQ(spec.tasks[0].mem_mb, 512.5);
+  EXPECT_EQ(spec.tasks[0].warps, 96);
+  // Omitted overrides keep the derive-from-profile sentinel.
+  EXPECT_DOUBLE_EQ(spec.tasks[1].mem_mb, -1.0);
+  EXPECT_EQ(spec.tasks[1].warps, -1);
+
+  // The worstfit alias (pre-fix binpack ordering) parses too.
+  const auto wf = parse(R"({
+    "fleet": { "devices": 2, "placement": "worstfit" },
+    "tasks": [ { "count": 1 } ]
+  })");
+  EXPECT_EQ(wf.base.placement, cluster::PlacementPolicy::kWorstFit);
+
+  // Range validation: negative overrides and out-of-range thresholds.
+  auto invalid = parse(R"({
+    "fleet": { "devices": 2 },
+    "tasks": [ { "count": 1, "mem_mb": -5 } ]
+  })");
+  EXPECT_THROW(validate(invalid), SpecError);
+  auto bad_occ = parse(R"({
+    "fleet": { "devices": 2, "occupancy_threshold": 1.5 },
+    "tasks": [ { "count": 1 } ]
+  })");
+  EXPECT_THROW(validate(bad_occ), SpecError);
+}
+
 TEST(SpecParse, UnknownKeysAreErrors) {
   EXPECT_THROW(parse(R"({"tasks": [{}], "shceduler": "sgprs"})"), SpecError);
   EXPECT_THROW(parse(R"({"tasks": [{}], "pool": {"contxts": 2}})"),

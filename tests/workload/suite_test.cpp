@@ -85,11 +85,12 @@ TEST_F(SuiteTest, DynamicSpecFillsTimeSeriesColumns) {
   std::string header, row;
   std::getline(lines, header);
   std::getline(lines, row);
-  EXPECT_NE(header.find(",peak_devices,rejected_streams,shed_jobs,"),
-            std::string::npos)
+  EXPECT_NE(
+      header.find(",peak_devices,rejected_streams,oom_streams,shed_jobs,"),
+      std::string::npos)
       << header;
-  // peak_devices=1, rejected=0, shed=0 for this tiny world.
-  EXPECT_NE(row.find(",1,0,0,,"), std::string::npos) << row;
+  // peak_devices=1, rejected=0, oom=0, shed=0 for this tiny world.
+  EXPECT_NE(row.find(",1,0,0,0,,"), std::string::npos) << row;
 
   std::ostringstream json;
   write_suite_json(runs, json);

@@ -190,6 +190,8 @@ void print_fleet(const workload::ClusterScenarioResult& r) {
   fleet.add_row({"tasks placed", std::to_string(r.fleet.tasks_assigned)});
   fleet.add_row({"tasks rejected",
                  std::to_string(r.fleet.tasks_rejected)});
+  fleet.add_row({"tasks oom-rejected",
+                 std::to_string(r.fleet.tasks_oom_rejected)});
   fleet.add_row({"total FPS", metrics::Table::fmt(f.fps, 1)});
   fleet.add_row({"on-time FPS", metrics::Table::fmt(f.fps_on_time, 1)});
   fleet.add_row({"DMR", metrics::Table::pct(f.dmr)});
