@@ -151,6 +151,14 @@ class Cluster {
     return devices_.at(i).scheduler->jobs_in_flight();
   }
 
+  /// Device crash: kills every queued and dispatched job on device `i`
+  /// instantly, with no collector close (faulted jobs stay open — their
+  /// count is the return value). Unlike retire_task this does not touch
+  /// placer accounting or stop releases; the fault engine owns both.
+  int abort_in_flight(int i) {
+    return devices_.at(i).scheduler->abort_in_flight();
+  }
+
   /// Per-device metrics over [collector.warmup(), end]; utilization over
   /// the whole run [0, end]. `merged` overrides the collector the report
   /// aggregates from — the sharded runtime passes its canonical cross-shard

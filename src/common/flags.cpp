@@ -17,7 +17,21 @@ void FlagParser::define(const std::string& name, const std::string& help,
 void FlagParser::define_bool(const std::string& name,
                              const std::string& help) {
   SGPRS_CHECK_MSG(!flags_.contains(name), "duplicate flag --" << name);
-  flags_[name] = Flag{help, "false", true, false};
+  Flag f;
+  f.help = help;
+  f.value = "false";
+  f.is_bool = true;
+  flags_[name] = std::move(f);
+  order_.push_back(name);
+}
+
+void FlagParser::define_multi(const std::string& name,
+                              const std::string& help) {
+  SGPRS_CHECK_MSG(!flags_.contains(name), "duplicate flag --" << name);
+  Flag f;
+  f.help = help;
+  f.is_multi = true;
+  flags_[name] = std::move(f);
   order_.push_back(name);
 }
 
@@ -51,6 +65,7 @@ bool FlagParser::parse(int argc, const char* const* argv) {
       error_ = "flag --" + name + " expects a value";
       return false;
     }
+    if (f.is_multi) f.values.push_back(f.value);
     f.set = true;
   }
   return true;
@@ -86,6 +101,15 @@ double FlagParser::get_double(const std::string& name) const {
   return parsed;
 }
 
+const std::vector<std::string>& FlagParser::get_all(
+    const std::string& name) const {
+  auto it = flags_.find(name);
+  SGPRS_CHECK_MSG(it != flags_.end(), "undefined flag --" << name);
+  SGPRS_CHECK_MSG(it->second.is_multi,
+                  "flag --" << name << " is not repeatable");
+  return it->second.values;
+}
+
 bool FlagParser::get_bool(const std::string& name) const {
   const std::string v = get(name);
   if (v == "true" || v == "1" || v == "yes") return true;
@@ -102,6 +126,7 @@ std::string FlagParser::help(const std::string& program) const {
     os << "  --" << name;
     if (!f.is_bool) os << "=<value>";
     os << "  " << f.help;
+    if (f.is_multi) os << " (repeatable)";
     if (!f.is_bool && !f.value.empty()) os << " (default: " << f.value << ")";
     os << "\n";
   }

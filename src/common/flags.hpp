@@ -18,6 +18,9 @@ class FlagParser {
   void define(const std::string& name, const std::string& help,
               const std::string& default_value = "");
   void define_bool(const std::string& name, const std::string& help);
+  /// A repeatable flag: every occurrence appends to get_all(). get() on a
+  /// multi flag returns the last occurrence.
+  void define_multi(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (and fills error()) on unknown flags or
   /// missing values.
@@ -28,6 +31,9 @@ class FlagParser {
   int get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+  /// Every occurrence of a repeatable flag, in command-line order. Empty
+  /// when the flag was never passed.
+  const std::vector<std::string>& get_all(const std::string& name) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& error() const { return error_; }
@@ -40,7 +46,9 @@ class FlagParser {
     std::string help;
     std::string value;
     bool is_bool = false;
+    bool is_multi = false;
     bool set = false;
+    std::vector<std::string> values;  // multi flags only
   };
   std::map<std::string, Flag> flags_;
   std::vector<std::string> order_;

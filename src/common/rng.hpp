@@ -33,6 +33,19 @@ inline std::uint64_t stream_seed(std::uint64_t base, int stream_id) {
                     (static_cast<std::uint64_t>(stream_id) + 1);
 }
 
+/// Two-key seed derivation for draws indexed by an (entity, occurrence)
+/// pair — e.g. the fault process keys on (device, incident). Two splitmix64
+/// steps give full-avalanche separation, so unlike chaining the affine
+/// 2-arg form, (a, b) and (b, a) never share a seed. The fleet layer's
+/// shard_stream_seed delegates here, which pins the formula.
+inline std::uint64_t stream_seed(std::uint64_t base, int a, int b) {
+  std::uint64_t state =
+      stream_seed(base, a) +
+      0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(b) + 1);
+  (void)splitmix64_next(state);
+  return splitmix64_next(state);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }

@@ -161,6 +161,7 @@ class OverloadGuard final : public rt::Scheduler {
   }
 
   int jobs_in_flight() const override { return inner_->jobs_in_flight(); }
+  int abort_in_flight() override { return inner_->abort_in_flight(); }
   std::string name() const override { return inner_->name(); }
   const rt::Scheduler* unwrap() const override { return inner_->unwrap(); }
 

@@ -88,6 +88,10 @@ struct FleetLoad {
   int warming_devices = 0;
   /// Deactivated devices still draining in-flight work.
   int draining_devices = 0;
+  /// Crashed devices not yet recovered. Excluded from active_devices, so
+  /// a utilization policy naturally provisions replacements — the signal
+  /// is here for policies that want to react to faults directly.
+  int failed_devices = 0;
 };
 
 /// Maps observed load to a desired provisioned count (active + warming).

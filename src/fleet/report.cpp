@@ -19,6 +19,13 @@ const char* to_string(DecisionKind k) {
     case DecisionKind::kDeviceActive: return "device_active";
     case DecisionKind::kScaleDown: return "scale_down";
     case DecisionKind::kDeviceRetired: return "device_retired";
+    case DecisionKind::kDeviceFailed: return "device_failed";
+    case DecisionKind::kDeviceRecovered: return "device_recovered";
+    case DecisionKind::kStreamFailedOver: return "stream_failed_over";
+    case DecisionKind::kStreamOrphaned: return "stream_orphaned";
+    case DecisionKind::kFailoverRetry: return "failover_retry";
+    case DecisionKind::kDegradedEnter: return "degraded_enter";
+    case DecisionKind::kDegradedExit: return "degraded_exit";
   }
   return "?";
 }
@@ -39,6 +46,21 @@ void print_fleet_run(const FleetRunResult& r, std::ostream& out) {
   summary.add_row(
       {"streams downgraded", std::to_string(r.streams_downgraded)});
   summary.add_row({"jobs shed", std::to_string(r.jobs_shed)});
+  if (r.devices_failed > 0 || r.streams_lost > 0) {
+    summary.add_row({"devices failed / recovered",
+                     std::to_string(r.devices_failed) + " / " +
+                         std::to_string(r.devices_recovered)});
+    summary.add_row({"jobs faulted", std::to_string(r.jobs_faulted)});
+    summary.add_row({"failovers (retries)",
+                     std::to_string(r.failovers) + " (" +
+                         std::to_string(r.failover_retries) + ")"});
+    summary.add_row({"streams lost", std::to_string(r.streams_lost)});
+    summary.add_row({"unavailability (s)",
+                     metrics::Table::fmt(r.unavailability_s, 3)});
+    summary.add_row({"time-to-recover p50/p99 (ms)",
+                     metrics::Table::fmt(r.recovery_p50_s * 1e3, 2) + " / " +
+                         metrics::Table::fmt(r.recovery_p99_s * 1e3, 2)});
+  }
   summary.add_row({"peak devices", std::to_string(r.peak_devices)});
   summary.add_row({"final devices", std::to_string(r.final_devices)});
   summary.add_row({"scale ups / downs", std::to_string(r.scale_ups) + " / " +
@@ -83,6 +105,15 @@ void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
   w.field("streams_oom_rejected", r.streams_oom_rejected);
   w.field("streams_downgraded", r.streams_downgraded);
   w.field("jobs_shed", r.jobs_shed);
+  w.field("jobs_faulted", r.jobs_faulted);
+  w.field("devices_failed", r.devices_failed);
+  w.field("devices_recovered", r.devices_recovered);
+  w.field("failovers", r.failovers);
+  w.field("failover_retries", r.failover_retries);
+  w.field("streams_lost", r.streams_lost);
+  w.field("unavailability_s", r.unavailability_s);
+  w.field("recovery_p50_s", r.recovery_p50_s);
+  w.field("recovery_p99_s", r.recovery_p99_s);
   w.field("peak_devices", r.peak_devices);
   w.field("final_devices", r.final_devices);
   w.field("scale_ups", r.scale_ups);
@@ -122,6 +153,9 @@ void write_fleet_run_json(const FleetRunResult& r, std::ostream& out) {
     w.field("streams_rejected_cum", s.streams_rejected_cum);
     w.field("streams_oom_cum", s.streams_oom_cum);
     w.field("jobs_shed_cum", s.jobs_shed_cum);
+    w.field("devices_failed", s.devices_failed);
+    w.field("orphaned_streams", s.orphaned_streams);
+    w.field("availability", s.availability);
     w.end_object();
   }
   w.end_array();

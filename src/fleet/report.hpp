@@ -32,6 +32,13 @@ enum class DecisionKind {
   kDeviceActive,      // warm-up elapsed; device takes placements
   kScaleDown,         // device deactivated (drain begins)
   kDeviceRetired,     // drain complete
+  kDeviceFailed,      // crash: in-flight jobs aborted, streams orphaned
+  kDeviceRecovered,   // MTTR elapsed / scripted recovery
+  kStreamFailedOver,  // orphan re-placed on a healthy device
+  kStreamOrphaned,    // crash displaced the stream; failover pending
+  kFailoverRetry,     // a failover attempt beyond the first
+  kDegradedEnter,     // active devices fell below the fault floor
+  kDegradedExit,      // capacity recovered above the floor
 };
 const char* to_string(DecisionKind k);
 
@@ -64,6 +71,28 @@ struct FleetRunResult {
   std::int64_t streams_retired = 0;
   std::int64_t streams_downgraded = 0;
   std::int64_t jobs_shed = 0;
+
+  // --- fault / failover counters ---
+  /// In-flight jobs killed by device crashes. Distinct from deadline
+  /// misses: a faulted job never closes in the collector, so it is outside
+  /// the DMR denominator.
+  std::int64_t jobs_faulted = 0;
+  std::int64_t devices_failed = 0;
+  std::int64_t devices_recovered = 0;
+  /// Orphaned streams successfully re-placed on a healthy device.
+  std::int64_t failovers = 0;
+  /// Failover attempts beyond each orphan's immediate re-place.
+  std::int64_t failover_retries = 0;
+  /// Orphans dropped after exhausting every attempt (park=false), plus
+  /// orphans still homeless at the horizon.
+  std::int64_t streams_lost = 0;
+  /// Summed stream-seconds of orphan downtime (crash to re-place, loss, or
+  /// the horizon).
+  double unavailability_s = 0.0;
+  /// Crash-to-re-place latency per failed-over stream (seconds); 0 when
+  /// the immediate re-place succeeded.
+  double recovery_p50_s = 0.0;
+  double recovery_p99_s = 0.0;
 
   // --- fleet-shape counters ---
   int peak_devices = 0;   // max simultaneously provisioned

@@ -14,9 +14,11 @@
 #include "cluster/cluster.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
+#include "fleet/faults.hpp"
 #include "fleet/overload_guard.hpp"
 #include "fleet/sharding.hpp"
 #include "gpu/device.hpp"
@@ -44,6 +46,22 @@ struct LiveStream {
   std::string tmpl;
 };
 
+/// A stream whose device crashed and that the crash-instant batch failover
+/// could not re-place. It waits in the retry/backoff loop (then parks, or
+/// is dropped) holding a full copy of its task — the crashed device's
+/// storage is no longer its home.
+struct Orphan {
+  int task_id = -1;
+  rt::Task task;
+  int tier = 0;
+  std::string tmpl;
+  int from_device = -1;
+  SimTime orphaned_at;
+  /// Placement attempts consumed so far (the crash-instant batch is 1).
+  int attempts = 0;
+  bool parked = false;
+};
+
 class FleetRuntime {
  public:
   FleetRuntime(const ScenarioSpec& spec, const workload::RunSeeds& seeds,
@@ -52,6 +70,7 @@ class FleetRuntime {
         cfg_(workload::lower(spec)),
         policy_(spec.fleet_policy ? *spec.fleet_policy : FleetPolicySpec{}),
         timeline_(spec.timeline ? *spec.timeline : TimelineSpec{}),
+        faults_(spec.faults ? *spec.faults : FaultSpec{}),
         capture_(capture) {
     cfg_.seed = seeds.sim;
     workload::validate(cfg_);
@@ -73,6 +92,19 @@ class FleetRuntime {
     std::uint64_t mix = timeline_.seed +
                         0x9e3779b97f4a7c15ULL * (cfg_.seed + 1);
     churn_rng_.reseed(common::splitmix64_next(mix));
+    fault_engine_ = std::make_unique<FaultEngine>(faults_, cfg_.seed);
+    if (timeline_.trace) {
+      // A replayed trace that carries fault events *is* the fault source:
+      // it replaces the spec's scripted events and stochastic process
+      // (the failover policy still comes from the spec).
+      for (const auto& e : timeline_.trace->events) {
+        if (e.kind == trace::TraceEvent::Kind::kCrash ||
+            e.kind == trace::TraceEvent::Kind::kRecover) {
+          trace_faults_ = true;
+          break;
+        }
+      }
+    }
 
     collector_ = std::make_unique<metrics::Collector>(cfg_.warmup);
     overload_.cfg = policy_.overload;
@@ -376,6 +408,21 @@ class FleetRuntime {
         arm_arrival(i, SimTime::from_sec(timeline_.arrivals[i].from_s));
       }
     }
+    // Fault sources (docs/faults.md). On a fault-carrying trace replay the
+    // recorded crash/recover events fire from the trace loop above; the
+    // spec's own sources stay quiet so faults are not injected twice.
+    if (!trace_faults_) {
+      for (std::size_t i = 0; i < faults_.events.size(); ++i) {
+        const SimTime t = SimTime::from_sec(faults_.events[i].at_s);
+        if (t >= cfg_.duration) continue;
+        engine_.schedule_at(t, [this, i] { run_fault_event(i); });
+      }
+      if (faults_.process.mtbf_s > 0.0) {
+        for (int d = 0; d < cluster_->num_devices(); ++d) {
+          arm_device_fault(d, SimTime::from_sec(faults_.process.from_s));
+        }
+      }
+    }
     // Control loops.
     if (autoscaler_) {
       schedule_at_or_skip(SimTime::from_ms(policy_.autoscaler.tick_ms),
@@ -416,6 +463,16 @@ class FleetRuntime {
   void run_trace_event(std::size_t index) {
     const trace::TraceEvent& e = timeline_.trace->events[index];
     const SimTime now = engine_.now();
+    if (e.kind == trace::TraceEvent::Kind::kCrash) {
+      // Faults replay directly (crash_device re-derives the failover); the
+      // recorded source tag keeps the audit-trail bytes identical.
+      crash_device(e.device, now, e.source);
+      return;
+    }
+    if (e.kind == trace::TraceEvent::Kind::kRecover) {
+      recover_device(e.device, e.source);
+      return;
+    }
     if (e.kind == trace::TraceEvent::Kind::kAdmit) {
       const StreamTemplate* t = nullptr;
       for (const auto& cand : timeline_.trace->templates) {
@@ -588,6 +645,7 @@ class FleetRuntime {
     FleetLoad load;
     load.warming_devices = static_cast<int>(warming_.size());
     load.draining_devices = static_cast<int>(draining_.size());
+    load.failed_devices = failed_count();
     for (int d = 0; d < cluster_->num_devices(); ++d) {
       if (!cluster_->placer().device_active(d)) continue;
       ++load.active_devices;
@@ -629,15 +687,25 @@ class FleetRuntime {
                           [this, idx] { activate_device(idx); });
     } else {
       record({now, DecisionKind::kDeviceActive, -1, idx, ""});
+      update_degraded(now);
+      readmit_parked(now);
     }
+    // Autoscaled devices join the stochastic fault process too.
+    if (!trace_faults_) arm_device_fault(idx, now);
     peak_provisioned_ = std::max(peak_provisioned_, provisioned_devices());
   }
 
   void activate_device(int idx) {
+    // A device that crashed mid-warm-up never activates here; recovery
+    // (which re-activates unconditionally) owns bringing it back.
+    if (device_failed(idx)) return;
+    const SimTime now = engine_.now();
     warming_.erase(std::remove(warming_.begin(), warming_.end(), idx),
                    warming_.end());
     cluster_->set_device_active(idx, true);
-    record({engine_.now(), DecisionKind::kDeviceActive, -1, idx, ""});
+    record({now, DecisionKind::kDeviceActive, -1, idx, ""});
+    update_degraded(now);
+    readmit_parked(now);
   }
 
   void scale_down(SimTime now) {
@@ -664,17 +732,41 @@ class FleetRuntime {
             std::to_string(victim_streams) + " streams to re-place"});
 
     // Re-place the victim's streams through the placer; in-flight jobs
-    // keep draining on the victim, only *future* releases move. All
-    // victims are retired first and re-placed as ONE batched decision
-    // (CASE-style): the victim is inactive, so the candidate set any
-    // stream sees is the same whether its predecessors were retired one
-    // at a time or up front.
+    // keep draining on the victim, only *future* releases move.
+    replace_streams(
+        victim, now, DecisionKind::kStreamReplaced, [](int, int) {},
+        [&](int id, rt::Task&&, int, std::string) {
+          // The stream leaves the system (it *was* admitted), so it
+          // counts as retired — not rejected — keeping
+          // admitted − retired == live.
+          record({now, DecisionKind::kStreamDropped, id, victim,
+                  "no device admits the re-placed stream"});
+          ++result_.streams_retired;
+        });
+  }
+
+  /// Shared drain / failover re-placement. All of `victim`'s live streams
+  /// are retired first and re-placed as ONE batched decision (CASE-style):
+  /// the victim is inactive, so the candidate set any stream sees is the
+  /// same whether its predecessors were retired one at a time or up front.
+  /// The batch is then walked in admission order — placed streams are
+  /// re-admitted (recorded as `success_kind`, then `on_placed(id, dev)`),
+  /// each unplaced one is handed to `on_unplaced(id, task, tier, tmpl)`
+  /// *inline*, so the audit interleaving matches the pre-refactor drain
+  /// loop byte for byte.
+  template <typename OnPlaced, typename OnUnplaced>
+  void replace_streams(int victim, SimTime now, DecisionKind success_kind,
+                       OnPlaced&& on_placed, OnUnplaced&& on_unplaced) {
     std::vector<int> ids;
     std::vector<rt::Task> copies;
+    std::vector<int> tiers;
+    std::vector<std::string> tmpls;
     for (const auto& s : live_) {
       if (s.device != victim) continue;
       ids.push_back(s.task_id);
       copies.push_back(*s.task);  // keeps its id: metrics stay continuous
+      tiers.push_back(s.tier);
+      tmpls.push_back(s.tmpl);
     }
     for (int id : ids) {
       cluster_->retire_task(victim, id, /*forget_metrics=*/true);
@@ -689,12 +781,9 @@ class FleetRuntime {
                                return s.task_id == id;
                              });
       if (!placed[i].device) {
-        // The stream leaves the system (it *was* admitted), so it counts
-        // as retired — not rejected — keeping admitted − retired == live.
-        record({now, DecisionKind::kStreamDropped, id, victim,
-                "no device admits the re-placed stream"});
         live_.erase(it);
-        ++result_.streams_retired;
+        on_unplaced(id, std::move(copies[i]), tiers[i],
+                    std::move(tmpls[i]));
         continue;
       }
       const int dev = *placed[i].device;
@@ -702,19 +791,328 @@ class FleetRuntime {
           cluster_->admit_task(dev, std::move(copies[i]));
       it->task = &stored;
       it->device = dev;
-      record({now, DecisionKind::kStreamReplaced, id, dev,
+      record({now, success_kind, id, dev,
               "from device " + std::to_string(victim)});
+      on_placed(id, dev);
     }
   }
 
   void finish_drains(SimTime now) {
     for (auto it = draining_.begin(); it != draining_.end();) {
-      if (cluster_->jobs_in_flight(*it) == 0) {
+      if (device_failed(*it)) {
+        // Crashed mid-drain: crash_device already tore the drain down
+        // (jobs aborted, kDeviceFailed recorded) and released the placer
+        // accounting exactly once — never retire it a second time here.
+        it = draining_.erase(it);
+      } else if (cluster_->jobs_in_flight(*it) == 0) {
         record({now, DecisionKind::kDeviceRetired, -1, *it, ""});
         it = draining_.erase(it);
       } else {
         ++it;
       }
+    }
+  }
+
+  // --- faults / failover (docs/faults.md) ----------------------------
+
+  bool device_failed(int d) const {
+    return d >= 0 && d < static_cast<int>(failed_.size()) &&
+           failed_[d] != 0;
+  }
+
+  int failed_count() const {
+    int n = 0;
+    for (char f : failed_) n += f ? 1 : 0;
+    return n;
+  }
+
+  void grow_fault_state(int d) {
+    if (d >= static_cast<int>(failed_.size())) {
+      failed_.resize(d + 1, 0);
+      down_gen_.resize(d + 1, 0);
+      fault_incidents_.resize(d + 1, 0);
+    }
+  }
+
+  void run_fault_event(std::size_t index) {
+    const FaultEvent& e = faults_.events[index];
+    const SimTime now = engine_.now();
+    if (e.kind == FaultEvent::Kind::kRecover) {
+      recover_device(e.device, "scripted");
+      return;
+    }
+    std::vector<int> victims;
+    if (e.device >= 0) {
+      victims.push_back(e.device);
+    } else {
+      // Correlated outage: the first `count` healthy devices, highest
+      // index first — the same victim order scale-down uses, so the
+      // original fleet core fails last.
+      for (int d = cluster_->num_devices() - 1;
+           d >= 0 && static_cast<int>(victims.size()) < e.count; --d) {
+        if (!device_failed(d)) victims.push_back(d);
+      }
+    }
+    for (int d : victims) {
+      if (!crash_device(d, now, "scripted")) continue;
+      if (e.down_s > 0.0) {
+        schedule_recovery(d, now + SimTime::from_sec(e.down_s),
+                          "scripted recovery");
+      }
+    }
+  }
+
+  /// Arms device `d`'s next stochastic failure: `from` plus an exponential
+  /// MTBF gap keyed (seed, device, incident) — shard-blind, so the
+  /// schedule never depends on event interleaving or shard count.
+  void arm_device_fault(int d, SimTime from) {
+    const FaultProcess& pr = faults_.process;
+    if (pr.mtbf_s <= 0.0) return;
+    grow_fault_state(d);
+    const SimTime until =
+        pr.until_s > 0.0 ? std::min(SimTime::from_sec(pr.until_s),
+                                    cfg_.duration)
+                         : cfg_.duration;
+    const SimTime base = std::max(from, SimTime::from_sec(pr.from_s));
+    const int incident = fault_incidents_[d];
+    const SimTime at =
+        base + SimTime::from_sec(fault_engine_->failure_gap_s(d, incident));
+    if (at >= until) return;
+    engine_.schedule_at(at,
+                        [this, d, incident] { stochastic_fail(d, incident); });
+  }
+
+  void stochastic_fail(int d, int incident) {
+    if (incident != fault_incidents_[d]) return;  // stale arm
+    if (device_failed(d)) return;  // a scripted crash got there first;
+                                   // recovery re-arms the process
+    fault_incidents_[d] = incident + 1;
+    const SimTime now = engine_.now();
+    if (!crash_device(d, now, "mtbf")) return;
+    if (faults_.process.mttr_s > 0.0) {
+      schedule_recovery(
+          d, now + SimTime::from_sec(fault_engine_->repair_s(d, incident)),
+          "mttr elapsed");
+    }
+  }
+
+  /// `why` must be a string literal: the engine's inline event buffer has
+  /// no room for a std::string capture, and the audit tags here are fixed.
+  void schedule_recovery(int d, SimTime at, const char* why) {
+    if (at > cfg_.duration) return;  // stays down past the horizon
+    const int gen = down_gen_[d];
+    engine_.schedule_at(at, [this, d, gen, why] {
+      // Generation guard: an explicit recover event may have beaten this
+      // timer, and the device may even be mid-way through a *newer* crash
+      // whose own recovery this must not preempt.
+      if (!device_failed(d) || down_gen_[d] != gen) return;
+      recover_device(d, why);
+    });
+  }
+
+  /// Kills device `d` at `now`: in-flight jobs are aborted (counted as
+  /// jobs_faulted — their collector entries stay open, so they never read
+  /// as deadline misses), live streams fail over through one placer batch,
+  /// and whatever cannot be re-placed immediately enters the retry loop as
+  /// an orphan. A crash tears down warm-up and drain state too: the device
+  /// leaves warming_/draining_ here and its pending activation /
+  /// drain-retire events become no-ops, so placer accounting is released
+  /// exactly once (by the stream retirements in the failover batch).
+  bool crash_device(int d, SimTime now, const std::string& why) {
+    if (d < 0 || d >= cluster_->num_devices()) return false;
+    grow_fault_state(d);
+    if (failed_[d]) return false;  // already down
+    failed_[d] = 1;
+    ++down_gen_[d];
+    warming_.erase(std::remove(warming_.begin(), warming_.end(), d),
+                   warming_.end());
+    draining_.erase(std::remove(draining_.begin(), draining_.end(), d),
+                    draining_.end());
+    cluster_->set_device_active(d, false);
+    ++result_.devices_failed;
+    record({now, DecisionKind::kDeviceFailed, -1, d, why});
+    if (capture_) capture_->record_fault(now, d, /*crash=*/true, why);
+    result_.jobs_faulted += cluster_->abort_in_flight(d);
+    replace_streams(
+        d, now, DecisionKind::kStreamFailedOver,
+        [&](int, int) {
+          ++result_.failovers;
+          recovery_.add(0.0);  // re-homed within the crash instant
+        },
+        [&](int id, rt::Task&& task, int tier, std::string tmpl) {
+          record({now, DecisionKind::kStreamOrphaned, id, d,
+                  "no device admits the failed-over stream"});
+          Orphan o;
+          o.task_id = id;
+          o.task = std::move(task);
+          o.tier = tier;
+          o.tmpl = std::move(tmpl);
+          o.from_device = d;
+          o.orphaned_at = now;
+          o.attempts = 1;  // the crash-instant batch was attempt one
+          orphans_.push_back(std::move(o));
+          schedule_retry(orphans_.back(), now);
+        });
+    update_degraded(now);
+    return true;
+  }
+
+  /// Brings a failed device back: it rejoins the active set (even if it
+  /// was warming or draining when it crashed — recovery is a clean
+  /// restart), parked orphans get a placement attempt, and the stochastic
+  /// fault process re-arms for the next incident.
+  bool recover_device(int d, const std::string& why) {
+    if (!device_failed(d)) return false;  // stale or double recovery
+    const SimTime now = engine_.now();
+    failed_[d] = 0;
+    cluster_->set_device_active(d, true);
+    ++result_.devices_recovered;
+    record({now, DecisionKind::kDeviceRecovered, -1, d, why});
+    if (capture_) capture_->record_fault(now, d, /*crash=*/false, why);
+    update_degraded(now);
+    readmit_parked(now);
+    if (!trace_faults_) arm_device_fault(d, now);
+    return true;
+  }
+
+  void schedule_retry(const Orphan& o, SimTime now) {
+    const double backoff_ms =
+        fault_engine_->retry_backoff_ms(o.task_id, o.attempts);
+    const SimTime at = now + SimTime::from_ms(backoff_ms);
+    if (at > cfg_.duration) return;  // homeless at the horizon
+    const int id = o.task_id;
+    engine_.schedule_at(at, [this, id] { retry_failover(id); });
+  }
+
+  void retry_failover(int id) {
+    auto it = std::find_if(orphans_.begin(), orphans_.end(),
+                           [id](const Orphan& o) { return o.task_id == id; });
+    if (it == orphans_.end() || it->parked) return;  // re-homed already
+    Orphan& o = *it;
+    const SimTime now = engine_.now();
+    ++o.attempts;
+    ++result_.failover_retries;
+    record({now, DecisionKind::kFailoverRetry, id, -1,
+            "attempt " + std::to_string(o.attempts) + " of " +
+                std::to_string(faults_.failover.max_attempts)});
+    const bool final_attempt = o.attempts >= faults_.failover.max_attempts;
+    if (try_place_orphan(o, now, final_attempt)) {
+      orphans_.erase(it);
+      return;
+    }
+    if (!final_attempt) {
+      schedule_retry(o, now);
+      return;
+    }
+    if (faults_.failover.park) {
+      // Parked: no more timed retries; the next capacity-change event
+      // (device recovery, warm-up activation) re-runs placement.
+      o.parked = true;
+      return;
+    }
+    drop_orphan(o, now, "failover attempts exhausted");
+    orphans_.erase(it);
+  }
+
+  /// One placement attempt for an orphan. On the final attempt the
+  /// failover policy may downgrade QoS (re-place at fps_scale × rate)
+  /// before giving up, mirroring admission-time downgrade. Returns true
+  /// when the stream found a new home.
+  bool try_place_orphan(Orphan& o, SimTime now, bool final_attempt) {
+    rt::Task task = o.task;  // fresh copy; the id survives re-admission
+    std::optional<int> dev;
+    if (policy_.overload.admission_test) {
+      dev = cluster_->placer().place_ex(task).device;
+    } else {
+      dev = cluster_->placer().force_place(task);
+    }
+    bool downgraded = false;
+    if (!dev && final_attempt && faults_.failover.qos_downgrade) {
+      const auto dg = downgraded_.find(o.tmpl);
+      if (dg != downgraded_.end()) {
+        task = dg->second;
+        task.id = o.task_id;
+        task.name = o.tmpl + "-" + std::to_string(o.task_id);
+        dev = cluster_->placer().place_ex(task).device;
+        downgraded = dev.has_value();
+      }
+    }
+    if (!dev) return false;
+    const rt::Task& stored = cluster_->admit_task(*dev, std::move(task));
+    live_.push_back(
+        LiveStream{o.task_id, &stored, *dev, now, o.tier, o.tmpl});
+    const double down_s = (now - o.orphaned_at).to_sec();
+    ++result_.failovers;
+    recovery_.add(down_s);
+    result_.unavailability_s += down_s;
+    if (downgraded) {
+      ++result_.streams_downgraded;
+      record({now, DecisionKind::kStreamDowngraded, o.task_id, *dev,
+              o.tmpl + " downgraded on final failover attempt"});
+    }
+    record({now, DecisionKind::kStreamFailedOver, o.task_id, *dev,
+            "from device " + std::to_string(o.from_device)});
+    return true;
+  }
+
+  void drop_orphan(const Orphan& o, SimTime now, const std::string& why) {
+    record({now, DecisionKind::kStreamDropped, o.task_id, o.from_device,
+            why});
+    // The stream *was* admitted, so it leaves as retired (keeping
+    // admitted − retired == live) as well as lost.
+    ++result_.streams_lost;
+    ++result_.streams_retired;
+    result_.unavailability_s += (now - o.orphaned_at).to_sec();
+  }
+
+  /// Capacity-change hook: parked orphans get one more placement attempt
+  /// whenever the fleet grows back — a device recovers or a warm-up
+  /// completes. Orphans re-try in crash order (stable, shard-blind).
+  void readmit_parked(SimTime now) {
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (!it->parked) {
+        ++it;
+        continue;
+      }
+      ++result_.failover_retries;
+      record({now, DecisionKind::kFailoverRetry, it->task_id, -1,
+              "parked retry on capacity change"});
+      if (try_place_orphan(*it, now, /*final_attempt=*/true)) {
+        it = orphans_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Degraded mode: below the min_active_devices floor the overload
+  /// guard's shed path engages (priority-aware, tight queue limit)
+  /// instead of letting every surviving queue blow up; the pre-fault
+  /// overload config is restored when capacity returns. The swap happens
+  /// here — at control barriers — the same way set_tier writes do, so the
+  /// parallel shard phase never observes a torn config.
+  void update_degraded(SimTime now) {
+    if (faults_.min_active_devices <= 0) return;
+    const int active = cluster_->placer().active_devices();
+    if (!degraded_ && active < faults_.min_active_devices) {
+      degraded_ = true;
+      saved_overload_ = overload_.cfg;
+      if (overload_.cfg.shed == ShedMode::kNone) {
+        overload_.cfg.shed = ShedMode::kPriority;
+      }
+      overload_.cfg.queue_limit =
+          overload_.cfg.queue_limit > 0
+              ? std::min(overload_.cfg.queue_limit,
+                         faults_.degraded_queue_limit)
+              : faults_.degraded_queue_limit;
+      record({now, DecisionKind::kDegradedEnter, -1, -1,
+              std::to_string(active) + " active devices, floor " +
+                  std::to_string(faults_.min_active_devices)});
+    } else if (degraded_ && active >= faults_.min_active_devices) {
+      degraded_ = false;
+      overload_.cfg = saved_overload_;
+      record({now, DecisionKind::kDegradedExit, -1, -1,
+              std::to_string(active) + " active devices"});
     }
   }
 
@@ -761,6 +1159,14 @@ class FleetRuntime {
     s.streams_rejected_cum = result_.streams_rejected;
     s.streams_oom_cum = result_.streams_oom_rejected;
     s.jobs_shed_cum = overload_.total_jobs_shed();
+    s.devices_failed = failed_count();
+    s.orphaned_streams = static_cast<int>(orphans_.size());
+    const double placed_or_orphaned =
+        static_cast<double>(live_.size() + orphans_.size());
+    s.availability =
+        placed_or_orphaned > 0.0
+            ? static_cast<double>(live_.size()) / placed_or_orphaned
+            : 1.0;
     result_.series.samples.push_back(s);
     prev_counts_ = c;
 
@@ -772,6 +1178,16 @@ class FleetRuntime {
   void record(FleetDecision d) { overload_.record(std::move(d)); }
 
   void finish() {
+    // Orphans still homeless at the horizon are lost: their downtime is
+    // charged through the end of the run and they leave the system as
+    // retired streams. Recorded before the final shed flush so the audit
+    // trail stays time-ordered at the horizon.
+    for (const auto& o : orphans_) {
+      drop_orphan(o, cfg_.duration,
+                  o.parked ? "orphaned at horizon (parked)"
+                           : "orphaned at horizon");
+    }
+    orphans_.clear();
     overload_.flush_all();  // sheds after the last control decision
     result_.name = spec_.name;
     if (sharded()) {
@@ -802,6 +1218,8 @@ class FleetRuntime {
     for (const auto& eng : shard_engines_) events += eng->processed_count();
     result_.sim_events = static_cast<double>(events);
     result_.jobs_shed = overload_.total_jobs_shed();
+    result_.recovery_p50_s = recovery_.p50();
+    result_.recovery_p99_s = recovery_.p99();
     result_.peak_devices =
         std::max(peak_provisioned_, provisioned_devices());
     result_.final_devices = cluster_->placer().active_devices();
@@ -811,6 +1229,7 @@ class FleetRuntime {
   ScenarioConfig cfg_;
   FleetPolicySpec policy_;
   TimelineSpec timeline_;
+  FaultSpec faults_;
   std::uint64_t generator_seed_ = 0;
 
   sim::Engine engine_;  // control plane (and, unsharded, every device)
@@ -837,6 +1256,17 @@ class FleetRuntime {
   std::unordered_map<int, int> trace_ids_;
   std::vector<int> warming_;
   std::vector<int> draining_;
+
+  bool trace_faults_ = false;  // replayed trace carries fault events
+  std::unique_ptr<FaultEngine> fault_engine_;
+  std::vector<char> failed_;          // per device: down, not yet recovered
+  std::vector<int> down_gen_;         // crash generation (stale-timer guard)
+  std::vector<int> fault_incidents_;  // stochastic incidents per device
+  std::vector<Orphan> orphans_;       // crash order
+  common::Percentiles recovery_;      // crash-to-re-home seconds
+  bool degraded_ = false;
+  OverloadConfig saved_overload_;
+
   SimTime last_scale_ = SimTime::from_ns(-1);
   int peak_provisioned_ = 0;
   SimTime series_window_;

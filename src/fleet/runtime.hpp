@@ -13,6 +13,11 @@
 //   * an overload controller: admission-test rejection at the door, an
 //     optional QoS downgrade retry (fps_scale), and per-device load
 //     shedding behind the OverloadGuard.
+// A "faults" spec section (fleet/faults.hpp, docs/faults.md) adds a
+// fourth, impolite loop: scripted and seeded-stochastic device crashes
+// that abort in-flight jobs and orphan live streams, a failover engine
+// re-placing them with retry-with-backoff, and availability accounting
+// (recovery percentiles, unavailability stream-seconds).
 // Every run produces windowed time-series samples and an audit trail of
 // control decisions (fleet/report.hpp).
 //

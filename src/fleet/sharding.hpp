@@ -50,11 +50,10 @@ using common::stream_seed;
 /// never collide across the (shard, stream) grid.
 inline std::uint64_t shard_stream_seed(std::uint64_t base, int shard,
                                        int stream) {
-  std::uint64_t state = stream_seed(base, stream) +
-                        0xbf58476d1ce4e5b9ULL *
-                            (static_cast<std::uint64_t>(shard) + 1);
-  (void)common::splitmix64_next(state);
-  return common::splitmix64_next(state);
+  // The 3-arg stream_seed keyed (base, stream, shard) — one formula for
+  // every two-key derivation (the fault process reuses it shard-blind as
+  // (base, device, incident)).
+  return common::stream_seed(base, stream, shard);
 }
 
 }  // namespace sgprs::fleet

@@ -111,6 +111,27 @@ void Executor::enqueue_batch(StreamId stream, std::vector<KernelDesc> kernels,
   }
 }
 
+void Executor::purge_all() {
+  // Credit busy-SM time and work completed up to the crash instant, then
+  // drop everything in flight on the floor: no callbacks, no trace end
+  // events, no work_done_ for the unfinished residue.
+  advance_progress();
+  for (auto& s : streams_) {
+    s.queue.clear();
+    if (s.running) {
+      s.running.reset();
+      --running_count_;
+      --contexts_[s.ctx].running_count;
+    }
+  }
+  SGPRS_CHECK(running_count_ == 0);
+  if (completion_event_ != sim::kInvalidEvent) {
+    engine_.cancel(completion_event_);
+    completion_event_ = sim::kInvalidEvent;
+  }
+  needs_reschedule_ = false;
+}
+
 double Executor::priority_weight(StreamPriority p) const {
   return p == StreamPriority::kHigh ? sharing_.high_priority_weight
                                     : sharing_.low_priority_weight;

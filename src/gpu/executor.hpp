@@ -62,6 +62,13 @@ class Executor {
   void enqueue_batch(StreamId stream, std::vector<KernelDesc> kernels,
                      CompletionFn on_all_done);
 
+  /// Device crash: drops every queued and running kernel without firing
+  /// completion callbacks or crediting the lost residue to work_done_.
+  /// Progress up to now is integrated first, so utilization accounting
+  /// stays exact; the pending completion event is cancelled. Contexts and
+  /// streams survive (a recovered device reuses them).
+  void purge_all();
+
   // --- Introspection (used by schedulers and tests) ---
   int context_count() const { return static_cast<int>(contexts_.size()); }
   int stream_count() const { return static_cast<int>(streams_.size()); }

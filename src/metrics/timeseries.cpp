@@ -9,7 +9,8 @@ void write_timeseries_csv(const TimeSeries& ts, std::ostream& out) {
   csv.header({"t_s", "devices_active", "devices_warming", "devices_draining",
               "streams_live", "releases", "completions", "on_time",
               "dropped", "window_fps", "window_dmr", "utilization",
-              "streams_rejected_cum", "streams_oom_cum", "jobs_shed_cum"});
+              "streams_rejected_cum", "streams_oom_cum", "jobs_shed_cum",
+              "devices_failed", "orphaned_streams", "availability"});
   for (const auto& s : ts.samples) {
     csv.row({common::CsvWriter::num(s.t.to_sec(), 4),
              std::to_string(s.devices_active),
@@ -23,7 +24,10 @@ void write_timeseries_csv(const TimeSeries& ts, std::ostream& out) {
              common::CsvWriter::num(s.utilization, 4),
              std::to_string(s.streams_rejected_cum),
              std::to_string(s.streams_oom_cum),
-             std::to_string(s.jobs_shed_cum)});
+             std::to_string(s.jobs_shed_cum),
+             std::to_string(s.devices_failed),
+             std::to_string(s.orphaned_streams),
+             common::CsvWriter::num(s.availability, 4)});
   }
 }
 

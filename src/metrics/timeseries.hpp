@@ -42,6 +42,11 @@ struct TimeSample {
   /// remaining blocker (see cluster::PlaceResult::oom).
   std::int64_t streams_oom_cum = 0;
   std::int64_t jobs_shed_cum = 0;
+  // --- fault state at the sample instant ---
+  int devices_failed = 0;    // crashed, not yet recovered
+  int orphaned_streams = 0;  // displaced, failover pending
+  /// live / (live + orphaned); 1.0 when both are zero.
+  double availability = 1.0;
 };
 
 struct TimeSeries {

@@ -56,6 +56,21 @@ class JobPool {
     --live_;
   }
 
+  /// Releases every live slot at once (device-crash teardown). No job
+  /// callbacks fire — callers that hold Job* into the pool must drop them
+  /// first. Returns the number of jobs released.
+  std::size_t release_all() {
+    std::size_t released = 0;
+    for (std::uint32_t slot = 0; slot < static_cast<std::uint32_t>(size_);
+         ++slot) {
+      Job& job = at(slot);
+      if (job.pool_slot < 0) continue;
+      release(job);
+      ++released;
+    }
+    return released;
+  }
+
   /// Jobs currently acquired.
   std::size_t live() const { return live_; }
   /// Slots ever created (the high-water mark of concurrent jobs).

@@ -1,5 +1,7 @@
 #include "rt/naive_scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "dnn/partition.hpp"
 
@@ -100,6 +102,20 @@ void NaiveScheduler::on_job_complete(Job& job, int ctx_idx, SimTime now) {
     contexts_[ctx_idx].busy = false;
     try_dispatch(ctx_idx, now);
   }
+}
+
+int NaiveScheduler::abort_in_flight() {
+  // Device crash: drop queued and running jobs without collector closes.
+  // A stale host_sync_gap event may still fire afterwards; with the fifo
+  // cleared and busy already false it is a harmless no-op.
+  for (auto& cs : contexts_) {
+    cs.fifo.clear();
+    cs.busy = false;
+  }
+  exec_.purge_all();
+  const int killed = static_cast<int>(jobs_.release_all());
+  std::fill(in_flight_.begin(), in_flight_.end(), 0);
+  return killed;
 }
 
 }  // namespace sgprs::rt

@@ -43,6 +43,7 @@ class NaiveScheduler final : public Scheduler {
   int jobs_in_flight() const override {
     return static_cast<int>(jobs_.live());
   }
+  int abort_in_flight() override;
   std::string name() const override { return "naive"; }
 
   /// Context a task was pinned to (introspection for tests).

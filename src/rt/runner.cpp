@@ -19,7 +19,7 @@ Runner::Runner(sim::Engine& engine, Scheduler& scheduler,
   for (const auto& t : tasks) admit_checked(t);
 }
 
-void Runner::admit_checked(const Task& t) {
+std::size_t Runner::admit_checked(const Task& t) {
   // Jitter must not reorder a task's releases: bound it by the shortest
   // guaranteed inter-arrival gap (the period, or a sporadic task's
   // effective minimum separation).
@@ -31,12 +31,6 @@ void Runner::admit_checked(const Task& t) {
                       cfg_.release_jitter == SimTime::zero(),
                   "release jitter must stay below every task's minimum "
                   "inter-arrival gap");
-  for (const auto& ts : states_) {
-    SGPRS_CHECK_MSG(ts.task->id != t.id,
-                    "duplicate task id " << t.id << " admitted to runner");
-  }
-  TaskState ts;
-  ts.task = &t;
   if (t.arrival == ArrivalModel::kSporadic) {
     // Compare against the *effective* minimum so a max below the
     // defaulted min (the period) is rejected, not silently dropped.
@@ -44,6 +38,27 @@ void Runner::admit_checked(const Task& t) {
                         min_gap <= t.max_separation,
                     "sporadic min_separation must not exceed "
                     "max_separation for task " << t.name);
+  }
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    TaskState& ts = states_[i];
+    if (ts.task->id != t.id) continue;
+    SGPRS_CHECK_MSG(!ts.active,
+                    "duplicate task id " << t.id << " admitted to runner");
+    // A retired id coming back (failover returned the stream to a device
+    // that hosted it before): reuse the slot in place. The arrival rng
+    // reseeds to the same (seed, id) stream it always draws from.
+    ts.task = &t;
+    if (t.arrival == ArrivalModel::kSporadic) {
+      ts.arrival_rng.reseed(common::stream_seed(cfg_.jitter_seed, t.id));
+    }
+    ts.active = true;
+    scheduler_.admit(t);
+    ++active_;
+    return i;
+  }
+  TaskState ts;
+  ts.task = &t;
+  if (t.arrival == ArrivalModel::kSporadic) {
     // Seed per task so the draw sequence is a function of (seed, task id)
     // alone — never of admission order, event interleaving or (in sharded
     // fleet runs) which shard the hosting device landed on.
@@ -52,12 +67,13 @@ void Runner::admit_checked(const Task& t) {
   scheduler_.admit(t);
   states_.push_back(std::move(ts));
   ++active_;
+  return states_.size() - 1;
 }
 
 void Runner::add_task(const Task& task) {
-  admit_checked(task);
+  const std::size_t idx = admit_checked(task);
   if (started_) {
-    arm_release(states_.size() - 1, engine_.now() + task.phase);
+    arm_release(idx, engine_.now() + task.phase);
   }
 }
 

@@ -77,7 +77,12 @@ class Runner {
     bool active = true;
   };
 
-  void admit_checked(const Task& task);
+  /// Admits `task` and returns its states_ index. A live duplicate id is a
+  /// hard error; re-admitting a *retired* id (a failed-over stream coming
+  /// back to an earlier home) reuses the old slot in place — pending
+  /// release lambdas capture indices, so states_ never shrinks or
+  /// reorders.
+  std::size_t admit_checked(const Task& task);
   void arm_release(std::size_t idx, SimTime at);
   /// Gap from this release to the next: the period for periodic tasks, a
   /// per-task-seeded uniform draw in [min_separation, max_separation] for

@@ -27,6 +27,12 @@ class Scheduler {
   /// Jobs released but not yet completed or dropped.
   virtual int jobs_in_flight() const = 0;
 
+  /// Device crash: discard every queued and dispatched job without
+  /// completing or dropping it through the collector (a faulted job is its
+  /// own outcome, not a deadline miss). Returns the number of jobs killed.
+  /// Default no-op for schedulers that never run under the fault engine.
+  virtual int abort_in_flight() { return 0; }
+
   virtual std::string name() const = 0;
 
   /// The scheduler that actually owns queues and jobs. Decorators (the

@@ -293,6 +293,25 @@ void SgprsScheduler::on_stage_complete(Job& job, int stage, int ctx_idx,
 
 void SgprsScheduler::retire_job(Job& job) { jobs_.release(job); }
 
+int SgprsScheduler::abort_in_flight() {
+  // Device crash: every queued stage and every dispatched kernel dies with
+  // the device. No collector completes or drops — faulted jobs stay open
+  // (they are their own outcome), and the stale stage-completion callbacks
+  // the executor would have fired are purged with it.
+  for (auto& cs : contexts_) {
+    cs.high.clear();
+    cs.medium.clear();
+    cs.low.clear();
+    cs.queued_work_sec = 0.0;
+    for (auto& slot : cs.high_slots) slot.busy = false;
+    for (auto& slot : cs.low_slots) slot.busy = false;
+  }
+  exec_.purge_all();
+  const int killed = static_cast<int>(jobs_.release_all());
+  std::fill(in_flight_.begin(), in_flight_.end(), 0);
+  return killed;
+}
+
 std::size_t SgprsScheduler::queued_stages(int ctx) const {
   SGPRS_CHECK(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
   return contexts_[ctx].queue_len();

@@ -70,6 +70,7 @@ class SgprsScheduler final : public Scheduler {
   void admit(const Task& task) override;
   void release_job(const Task& task, SimTime now) override;
   int jobs_in_flight() const override { return static_cast<int>(jobs_.live()); }
+  int abort_in_flight() override;
   std::string name() const override { return "sgprs"; }
 
   // Introspection for tests.

@@ -48,14 +48,20 @@ Trace scale_trace(const Trace& in, const TraceScaleConfig& cfg) {
   };
   std::vector<Stream> streams;
   std::unordered_map<int, std::size_t> stream_by_id;
+  // Fault events are fleet-level, not per-stream: they time-warp with
+  // everything else but are never cloned (cloning tenants multiplies load,
+  // not outages) and take no jitter.
+  std::vector<std::size_t> faults;
   for (std::size_t i = 0; i < in.events.size(); ++i) {
     const TraceEvent& e = in.events[i];
     if (e.kind == TraceEvent::Kind::kAdmit) {
       stream_by_id[e.id] = streams.size();
       streams.push_back({i, -1});
-    } else {
+    } else if (e.kind == TraceEvent::Kind::kRetire) {
       streams[stream_by_id.at(e.id)].retire =
           static_cast<std::ptrdiff_t>(i);
+    } else {
+      faults.push_back(i);
     }
   }
 
@@ -99,6 +105,10 @@ Trace scale_trace(const Trace& in, const TraceScaleConfig& cfg) {
     }
   }
 
+  for (const std::size_t f : faults) {
+    gen.push_back({warp(in.events[f].t_ns, cfg.time_warp), f, 0, 0, false});
+  }
+
   // Deterministic total order: time, then source-event order (an admit
   // always precedes its own retire in the source), then copy index.
   std::sort(gen.begin(), gen.end(),
@@ -127,6 +137,11 @@ Trace scale_trace(const Trace& in, const TraceScaleConfig& cfg) {
   for (const Generated& g : gen) {
     TraceEvent e = in.events[g.orig];
     e.t_ns = g.t_ns;
+    if (e.kind == TraceEvent::Kind::kCrash ||
+        e.kind == TraceEvent::Kind::kRecover) {
+      out.events.push_back(std::move(e));
+      continue;
+    }
     if (g.admit) {
       e.id = next_id++;
       new_id[{g.stream, g.copy}] = e.id;

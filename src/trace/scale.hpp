@@ -12,7 +12,10 @@
 //     frac(f), each copy jittered by a seeded uniform offset so clones do
 //     not arrive in lockstep;
 //   * jitter preserves lifetimes: a copy's admit and retire shift
-//     together.
+//     together;
+//   * fault events (crash/recover) are fleet-level, not per-stream: they
+//     time-warp with everything else but are never cloned or jittered —
+//     cloning tenants multiplies load, not outages.
 //
 // Determinism: every random draw comes from a per-(stream, copy) rng
 // derived splitmix64-style from (seed, stream index, copy index) — output

@@ -31,7 +31,9 @@ const char* arrival_name(rt::ArrivalModel a) {
 
 TraceEvent parse_event(const JsonValue& v, const std::string& path) {
   require_object(v, path);
-  check_keys(v, {"t_ns", "admit", "retire", "id", "tier", "source"}, path);
+  check_keys(v, {"t_ns", "admit", "retire", "fault", "device", "id", "tier",
+                 "source"},
+             path);
   TraceEvent e;
   const JsonValue* t = v.find("t_ns");
   if (!t) bad(path, "event needs a \"t_ns\" timestamp");
@@ -39,8 +41,35 @@ TraceEvent parse_event(const JsonValue& v, const std::string& path) {
 
   const JsonValue* admit = v.find("admit");
   const JsonValue* retire = v.find("retire");
-  if ((admit != nullptr) == (retire != nullptr)) {
-    bad(path, "an event takes exactly one of \"admit\" or \"retire\"");
+  const JsonValue* fault = v.find("fault");
+  const int discriminators = (admit != nullptr) + (retire != nullptr) +
+                             (fault != nullptr);
+  if (discriminators != 1) {
+    bad(path,
+        "an event takes exactly one of \"admit\", \"retire\" or \"fault\"");
+  }
+  if (fault) {
+    const std::string kind =
+        get_field("fault", path, [&] { return fault->as_string(); });
+    if (kind == "crash") {
+      e.kind = TraceEvent::Kind::kCrash;
+    } else if (kind == "recover") {
+      e.kind = TraceEvent::Kind::kRecover;
+    } else {
+      bad(path + ".fault",
+          "unknown fault kind \"" + kind + "\" (want crash|recover)");
+    }
+    const JsonValue* device = v.find("device");
+    if (!device) bad(path, "a fault event needs its \"device\" index");
+    e.device = static_cast<int>(
+        get_field("device", path, [&] { return device->as_int(); }));
+    if (v.find("id")) bad(path, "\"id\" only applies to admit/retire events");
+    if (v.find("tier")) bad(path, "\"tier\" only applies to admit events");
+    e.source = str_or(v, "source", "", path);
+    return e;
+  }
+  if (v.find("device")) {
+    bad(path, "\"device\" only applies to fault events");
   }
   if (admit) {
     e.kind = TraceEvent::Kind::kAdmit;
@@ -89,12 +118,23 @@ void write_event(const TraceEvent& e, std::ostream& out) {
   JsonWriter w(out);
   w.begin_object();
   w.field("t_ns", e.t_ns);
-  if (e.kind == TraceEvent::Kind::kAdmit) {
-    w.field("admit", e.tmpl);
-    w.field("id", e.id);
-    if (e.tier >= 0) w.field("tier", e.tier);
-  } else {
-    w.field("retire", e.id);
+  switch (e.kind) {
+    case TraceEvent::Kind::kAdmit:
+      w.field("admit", e.tmpl);
+      w.field("id", e.id);
+      if (e.tier >= 0) w.field("tier", e.tier);
+      break;
+    case TraceEvent::Kind::kRetire:
+      w.field("retire", e.id);
+      break;
+    case TraceEvent::Kind::kCrash:
+      w.field("fault", "crash");
+      w.field("device", e.device);
+      break;
+    case TraceEvent::Kind::kRecover:
+      w.field("fault", "recover");
+      w.field("device", e.device);
+      break;
   }
   if (!e.source.empty()) w.field("source", e.source);
   w.end_object();
@@ -180,6 +220,11 @@ void validate_trace(const Trace& trace) {
               std::to_string(prev_t) + " (events must be non-decreasing)");
     }
     prev_t = e.t_ns;
+    if (e.kind == TraceEvent::Kind::kCrash ||
+        e.kind == TraceEvent::Kind::kRecover) {
+      if (e.device < 0) bad(p + ".device", "must be >= 0");
+      continue;
+    }
     if (e.id < 0) bad(p, "stream id must be >= 0");
     if (e.kind == TraceEvent::Kind::kAdmit) {
       bool known = false;
@@ -284,6 +329,16 @@ void TraceRecorder::record_retire(common::SimTime t, int id,
   e.kind = TraceEvent::Kind::kRetire;
   e.t_ns = t.ns;
   e.id = id;
+  e.source = detail;
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::record_fault(common::SimTime t, int device, bool crash,
+                                 const std::string& detail) {
+  TraceEvent e;
+  e.kind = crash ? TraceEvent::Kind::kCrash : TraceEvent::Kind::kRecover;
+  e.t_ns = t.ns;
+  e.device = device;
   e.source = detail;
   trace_.events.push_back(std::move(e));
 }

@@ -26,7 +26,9 @@
 //     "templates": [ { ...timeline template schema... } ],
 //     "events": [
 //       {"t_ns": N, "admit": "tmpl", "id": K, "source": "arrival"},
-//       {"t_ns": N, "retire": K, "source": "lifetime elapsed"}
+//       {"t_ns": N, "retire": K, "source": "lifetime elapsed"},
+//       {"t_ns": N, "fault": "crash", "device": D},
+//       {"t_ns": N, "fault": "recover", "device": D}
 //     ]
 //   }
 //
@@ -49,11 +51,17 @@ namespace sgprs::trace {
 /// even when rejected, so ids may be sparse among *live* streams but are
 /// unique and dense over attempts).
 struct TraceEvent {
-  enum class Kind { kAdmit, kRetire };
+  enum class Kind { kAdmit, kRetire, kCrash, kRecover };
   Kind kind = Kind::kAdmit;
   std::int64_t t_ns = 0;
   /// Admit: the id this attempt consumed. Retire: the id being retired.
+  /// Fault events leave it -1.
   int id = -1;
+  /// Crash/recover only: the device index the fault hit. A replayed trace
+  /// with fault events *replaces* the spec's scripted faults and stochastic
+  /// process (the failover policy still comes from the spec), exactly as a
+  /// trace timeline replaces templates/events/arrivals.
+  int device = -1;
   /// Admit only: the stream template to instantiate.
   std::string tmpl;
   /// Admit only: tier override; -1 = use the template tier (omitted in
@@ -112,6 +120,11 @@ class TraceRecorder {
   void record_admit(common::SimTime t, const std::string& tmpl, int id,
                     int tier_override, const std::string& source);
   void record_retire(common::SimTime t, int id, const std::string& detail);
+  /// `crash` true records a crash, false a recovery. `detail` is the audit
+  /// detail the runtime logged ("scripted", "mtbf", "mttr elapsed", ...);
+  /// replay passes it through so the audit-trail bytes match.
+  void record_fault(common::SimTime t, int device, bool crash,
+                    const std::string& detail);
 
   const Trace& trace() const { return trace_; }
   Trace take() { return std::move(trace_); }

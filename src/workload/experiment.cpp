@@ -331,6 +331,9 @@ struct RunOutcome {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double oom = 0.0;
+  double failovers = 0.0;
+  double streams_lost = 0.0;
+  double unavailability_s = 0.0;
   std::string error;
 };
 
@@ -360,6 +363,11 @@ RunOutcome run_one(const ExperimentSpec& spec, const ScenarioSpec& cell_spec,
     o.p50_ms = a.p50_latency_ms;
     o.p99_ms = a.p99_latency_ms;
     o.oom = oom_of(r);
+    if (r.dynamic) {
+      o.failovers = static_cast<double>(r.dyn.failovers);
+      o.streams_lost = static_cast<double>(r.dyn.streams_lost);
+      o.unavailability_s = r.dyn.unavailability_s;
+    }
   } catch (const std::exception& e) {
     o.error = e.what();
   }
@@ -444,6 +452,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, int jobs) {
     cr.p50_latency_ms.add(o.p50_ms);
     cr.p99_latency_ms.add(o.p99_ms);
     cr.oom_rejected.add(o.oom);
+    cr.failovers.add(o.failovers);
+    cr.streams_lost.add(o.streams_lost);
+    cr.unavailability_s.add(o.unavailability_s);
   }
   return result;
 }
@@ -519,8 +530,10 @@ void json_metric(common::JsonWriter& w, const std::string& key,
   w.end_object();
 }
 
-constexpr const char* kMetricNames[] = {"dmr", "fps", "fps_on_time",
-                                        "p50_ms", "p99_ms", "oom_rejected"};
+constexpr const char* kMetricNames[] = {
+    "dmr",    "fps",          "fps_on_time",  "p50_ms",
+    "p99_ms", "oom_rejected", "failovers",    "streams_lost",
+    "unavailability_s"};
 
 }  // namespace
 
@@ -554,6 +567,9 @@ void write_experiment_csv(const ExperimentResult& r, std::ostream& out) {
     csv_metric_cells(row, cell.p50_latency_ms);
     csv_metric_cells(row, cell.p99_latency_ms);
     csv_metric_cells(row, cell.oom_rejected);
+    csv_metric_cells(row, cell.failovers);
+    csv_metric_cells(row, cell.streams_lost);
+    csv_metric_cells(row, cell.unavailability_s);
     row.push_back(cell.first_error);
     csv.row(row);
   }
@@ -585,6 +601,9 @@ void write_experiment_json(const ExperimentResult& r, std::ostream& out) {
     json_metric(w, "p50_latency_ms", cell.p50_latency_ms);
     json_metric(w, "p99_latency_ms", cell.p99_latency_ms);
     json_metric(w, "oom_rejected", cell.oom_rejected);
+    json_metric(w, "failovers", cell.failovers);
+    json_metric(w, "streams_lost", cell.streams_lost);
+    json_metric(w, "unavailability_s", cell.unavailability_s);
     w.end_object();
   }
   w.end_array();

@@ -120,6 +120,11 @@ struct CellResult {
   /// Streams/tasks rejected with memory as the sole blocker (0 for
   /// single-device runs, which have no placer).
   common::RunningStats oom_rejected;
+  /// Fault/failover metrics (0 for runs without a "faults" section —
+  /// closed-world and single-device runs never crash).
+  common::RunningStats failovers;
+  common::RunningStats streams_lost;
+  common::RunningStats unavailability_s;
 
   /// "scheduler=sgprs utilization=2.5"; "all" when the grid has no axes.
   std::string label() const;

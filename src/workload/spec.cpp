@@ -239,7 +239,7 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
   check_keys(root,
              {"name", "description", "scheduler", "device", "pool", "sim",
               "sgprs", "naive", "tasks", "generator", "fleet", "experiment",
-              "timeline", "fleet_policy"},
+              "timeline", "fleet_policy", "faults"},
              path);
   if (!skip_experiment_section && root.find("experiment")) {
     bad(path + ".experiment",
@@ -304,6 +304,9 @@ ScenarioSpec parse_scenario_spec(const common::JsonValue& root,
   if (const JsonValue* policy = root.find("fleet_policy")) {
     spec.fleet_policy =
         fleet::parse_fleet_policy(*policy, path + ".fleet_policy");
+  }
+  if (const JsonValue* faults = root.find("faults")) {
+    spec.faults = fleet::parse_fault_spec(*faults, path + ".faults");
   }
   return spec;
 }
@@ -406,6 +409,9 @@ void validate(const ScenarioSpec& spec) {
   }
   if (spec.fleet_policy) {
     fleet::validate_fleet_policy(*spec.fleet_policy, "spec.fleet_policy");
+  }
+  if (spec.faults) {
+    fleet::validate_fault_spec(*spec.faults, "spec.faults");
   }
 
   if (spec.generator) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "fleet/faults.hpp"
 #include "fleet/policy.hpp"
 #include "fleet/report.hpp"
 #include "fleet/timeline.hpp"
@@ -90,9 +91,14 @@ struct ScenarioSpec {
   /// bit-identical.
   std::optional<fleet::TimelineSpec> timeline;
   std::optional<fleet::FleetPolicySpec> fleet_policy;
+  /// Fault injection (docs/faults.md): scripted crashes, a stochastic
+  /// MTBF/MTTR process and the failover policy. Also routes the run
+  /// through the fleet runtime.
+  std::optional<fleet::FaultSpec> faults;
 
   bool dynamic() const {
-    return timeline.has_value() || fleet_policy.has_value();
+    return timeline.has_value() || fleet_policy.has_value() ||
+           faults.has_value();
   }
 };
 

@@ -101,6 +101,16 @@ std::string rejected_streams_cell(const SuiteRun& r) {
 std::string shed_jobs_cell(const SuiteRun& r) {
   return r.result.dynamic ? std::to_string(r.result.dyn.jobs_shed) : "-";
 }
+std::string faults_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.devices_failed)
+                          : "-";
+}
+std::string failovers_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.failovers) : "-";
+}
+std::string lost_cell(const SuiteRun& r) {
+  return r.result.dynamic ? std::to_string(r.result.dyn.streams_lost) : "-";
+}
 /// OOM rejections exist on both fleet paths (open- and closed-world); only
 /// single-device rows show "-".
 std::string oom_cell(const SuiteRun& r) {
@@ -118,11 +128,11 @@ std::string oom_cell(const SuiteRun& r) {
 void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
   metrics::Table t({"scenario", "tasks", "devs", "FPS", "on-time", "DMR",
                     "p99 (ms)", "migr", "peak devs", "rej streams", "oom",
-                    "shed", "status"});
+                    "shed", "faults", "failovers", "lost", "status"});
   for (const auto& r : runs) {
     if (!r.ok) {
       t.add_row({r.scenario, "-", "-", "-", "-", "-", "-", "-", "-", "-",
-                 "-", "-", "FAILED"});
+                 "-", "-", "-", "-", "-", "FAILED"});
       continue;
     }
     const auto& a = r.result.aggregate();
@@ -133,7 +143,7 @@ void print_suite(const std::vector<SuiteRun>& runs, std::ostream& out) {
                metrics::Table::fmt(a.p99_latency_ms, 2),
                std::to_string(r.result.migrations()), peak_devices_cell(r),
                rejected_streams_cell(r), oom_cell(r), shed_jobs_cell(r),
-               "ok"});
+               faults_cell(r), failovers_cell(r), lost_cell(r), "ok"});
   }
   t.print(out);
   for (const auto& r : runs) {
@@ -146,11 +156,12 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
   csv.header({"scenario", "file", "status", "tasks", "devices", "fps",
               "fps_on_time", "dmr", "p50_ms", "p99_ms", "releases",
               "migrations", "peak_devices", "rejected_streams",
-              "oom_streams", "shed_jobs", "field_path", "error"});
+              "oom_streams", "shed_jobs", "devices_failed", "failovers",
+              "streams_lost", "unavailability_s", "field_path", "error"});
   for (const auto& r : runs) {
     if (!r.ok) {
       csv.row({r.scenario, r.file, "failed", "", "", "", "", "", "", "", "",
-               "", "", "", "", "", r.field_path, r.error});
+               "", "", "", "", "", "", "", "", "", r.field_path, r.error});
       continue;
     }
     const auto& a = r.result.aggregate();
@@ -168,7 +179,13 @@ void write_suite_csv(const std::vector<SuiteRun>& runs, std::ostream& out) {
              dyn ? std::to_string(r.result.dyn.peak_devices) : "",
              dyn ? std::to_string(r.result.dyn.streams_rejected) : "",
              oom == "-" ? "" : oom,
-             dyn ? std::to_string(r.result.dyn.jobs_shed) : "", "", ""});
+             dyn ? std::to_string(r.result.dyn.jobs_shed) : "",
+             dyn ? std::to_string(r.result.dyn.devices_failed) : "",
+             dyn ? std::to_string(r.result.dyn.failovers) : "",
+             dyn ? std::to_string(r.result.dyn.streams_lost) : "",
+             dyn ? common::CsvWriter::num(r.result.dyn.unavailability_s, 3)
+                 : "",
+             "", ""});
   }
 }
 
@@ -204,6 +221,12 @@ void write_suite_json(const std::vector<SuiteRun>& runs, std::ostream& out) {
       w.field("peak_devices", static_cast<std::int64_t>(d.peak_devices));
       w.field("scale_ups", static_cast<std::int64_t>(d.scale_ups));
       w.field("scale_downs", static_cast<std::int64_t>(d.scale_downs));
+      w.field("devices_failed", d.devices_failed);
+      w.field("failovers", d.failovers);
+      w.field("streams_lost", d.streams_lost);
+      w.field("jobs_faulted", d.jobs_faulted);
+      w.field("unavailability_s", d.unavailability_s);
+      w.field("recovery_p99_s", d.recovery_p99_s);
     } else if (r.result.fleet) {
       w.field("tasks_placed",
               static_cast<std::int64_t>(r.result.cluster.fleet.tasks_assigned));

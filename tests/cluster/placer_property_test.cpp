@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -193,6 +194,116 @@ TEST(PlacerProperty, RejectionImpliesNoDeviceCouldAdmit) {
         EXPECT_GT(placer.utilization(d) + 0.3, kMargin - 1e-9);
       }
       break;
+    }
+  }
+}
+
+TEST(PlacerProperty, CrashRecoverCyclesKeepAccountingExact) {
+  // ~200 seeded fleets through random crash / re-place / recover cycles:
+  // the fault path's accounting contract at the placer level. A crash
+  // releases the victim's whole reservation exactly once (task_count,
+  // utilization and remaining memory all read empty afterwards — a
+  // double-release would push remaining_mem_bytes past the budget),
+  // re-placements only ever land on active devices, and no task id is
+  // resident on two devices at once.
+  const PlacementPolicy policies[] = {
+      PlacementPolicy::kRoundRobin,          PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kBinPackUtilization,  PlacementPolicy::kBinPackMemory,
+      PlacementPolicy::kWorstFit,            PlacementPolicy::kHashAffinity};
+  for (int seed = 0; seed < 200; ++seed) {
+    common::Rng rng(31337 + static_cast<std::uint64_t>(seed) * 257);
+    const auto policy = policies[seed % 6];
+    std::vector<PlacerDevice> devices;
+    std::vector<std::int64_t> mem_budget;
+    const int n = static_cast<int>(rng.uniform_int(2, 4));
+    for (int d = 0; d < n; ++d) {
+      PlacerDevice dev =
+          rng.next_double() < 0.5 ? small_device() : big_device();
+      dev.spec.mem_bytes =
+          static_cast<std::int64_t>(rng.uniform_int(2, 6)) * (1ll << 30);
+      devices.push_back(dev);
+      mem_budget.push_back(dev.spec.mem_bytes);
+    }
+    Placer placer(devices, policy, kMargin);
+
+    int next_id = 0;
+    const auto offer = [&](int count) {
+      for (int i = 0; i < count; ++i) {
+        rt::Task t = make_task(next_id, "t" + std::to_string(next_id % 6),
+                               rng.uniform(0.02, 0.25));
+        t.mem_bytes = static_cast<std::int64_t>(
+            rng.uniform(0.0, 1.5) * static_cast<double>(1ll << 30));
+        t.warps = static_cast<std::int64_t>(rng.uniform_int(0, 300));
+        ++next_id;
+        (void)placer.place_ex(t);
+      }
+    };
+    // The full-fleet invariant, checked after every mutation: disjoint
+    // residency and exact per-device memory accounting.
+    std::vector<char> down(static_cast<std::size_t>(n), 0);
+    const auto verify = [&] {
+      std::set<int> seen;
+      for (int d = 0; d < n; ++d) {
+        std::int64_t mem = 0;
+        for (const rt::Task& t : placer.placed_on(d)) {
+          EXPECT_TRUE(seen.insert(t.id).second)
+              << "task " << t.id << " resident on two devices (seed "
+              << seed << ")";
+          mem += t.mem_bytes;
+        }
+        EXPECT_EQ(placer.remaining_mem_bytes(d), mem_budget[d] - mem)
+            << "device " << d << " seed " << seed;
+        if (down[static_cast<std::size_t>(d)]) {
+          EXPECT_EQ(placer.task_count(d), 0);
+          EXPECT_DOUBLE_EQ(placer.utilization(d), 0.0);
+        }
+      }
+    };
+
+    offer(static_cast<int>(rng.uniform_int(8, 16)));
+    verify();
+
+    for (int step = 0; step < 6; ++step) {
+      std::vector<int> active;
+      std::vector<int> failed;
+      for (int d = 0; d < n; ++d) {
+        (down[static_cast<std::size_t>(d)] ? failed : active).push_back(d);
+      }
+      const bool crash = !failed.empty()
+                             ? rng.next_double() < 0.5 && active.size() > 1
+                             : active.size() > 1;
+      if (crash) {
+        const int victim = active[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(active.size()) - 1))];
+        // Crash: orphan every resident task, then deactivate — the same
+        // sequence the fleet runtime's crash_device performs.
+        const std::vector<rt::Task> orphans = placer.placed_on(victim);
+        for (const rt::Task& t : orphans) {
+          EXPECT_TRUE(placer.remove_task(victim, t.id));
+        }
+        placer.set_device_active(victim, false);
+        down[static_cast<std::size_t>(victim)] = 1;
+        EXPECT_EQ(placer.task_count(victim), 0);
+        EXPECT_DOUBLE_EQ(placer.utilization(victim), 0.0);
+        EXPECT_EQ(placer.remaining_mem_bytes(victim), mem_budget[victim]);
+        // Failover: re-offer the orphans; any that land must land on a
+        // surviving device.
+        for (const rt::Task& t : orphans) {
+          const PlaceResult r = placer.place_ex(t);
+          if (r.device) {
+            EXPECT_NE(*r.device, victim);
+            EXPECT_FALSE(down[static_cast<std::size_t>(*r.device)]);
+          }
+        }
+      } else if (!failed.empty()) {
+        const int back = failed[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(failed.size()) - 1))];
+        placer.set_device_active(back, true);
+        down[static_cast<std::size_t>(back)] = 0;
+        EXPECT_EQ(placer.remaining_mem_bytes(back), mem_budget[back]);
+      }
+      offer(static_cast<int>(rng.uniform_int(0, 4)));
+      verify();
     }
   }
 }

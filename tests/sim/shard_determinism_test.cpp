@@ -56,6 +56,9 @@ TEST(ShardDeterminismTest, CuratedScenariosByteIdenticalAcrossShardCounts) {
       "scenarios/tenant_churn.json",
       "scenarios/scale_down_drain.json",
       "scenarios/memory_constrained.json",
+      "scenarios/device_crash_failover.json",
+      "scenarios/flaky_fleet.json",
+      "scenarios/correlated_outage.json",
   };
   for (const auto& path : scenarios) {
     SCOPED_TRACE(path);
@@ -85,6 +88,27 @@ TEST(ShardDeterminismTest, MemoryConstrainedOomStableAcrossShardCounts) {
   FleetRunResult sharded;
   EXPECT_EQ(baseline, run_bytes(spec, 8, &sharded));
   EXPECT_EQ(classic.streams_oom_rejected, sharded.streams_oom_rejected);
+}
+
+TEST(ShardDeterminismTest, FaultCountersStableAcrossShardCounts) {
+  // The fault path is the sternest determinism test: crash instants come
+  // from a seeded exponential process keyed on (device, incident) — never
+  // on shard or event order — and failover re-placement races the regular
+  // admission stream. Every fault counter and audit record must be part of
+  // the byte-identical surface, and the scenario must actually exercise
+  // the machinery (a vacuous pin would pass with faults disabled).
+  const auto spec = load_spec("scenarios/flaky_fleet.json");
+  FleetRunResult classic;
+  const std::string baseline = run_bytes(spec, 1, &classic);
+  EXPECT_GT(classic.streams_admitted, 0);
+  EXPECT_GT(classic.devices_failed, 0);
+  EXPECT_GT(classic.failovers, 0);
+  FleetRunResult sharded;
+  EXPECT_EQ(baseline, run_bytes(spec, 8, &sharded));
+  EXPECT_EQ(classic.devices_failed, sharded.devices_failed);
+  EXPECT_EQ(classic.failovers, sharded.failovers);
+  EXPECT_EQ(classic.jobs_faulted, sharded.jobs_faulted);
+  EXPECT_EQ(classic.unavailability_s, sharded.unavailability_s);
 }
 
 TEST(ShardDeterminismTest, TraceDrivenReplayByteIdenticalAcrossShardCounts) {

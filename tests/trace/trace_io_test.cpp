@@ -192,5 +192,56 @@ TEST(TraceIoTest, RejectsEmptyTemplates) {
   EXPECT_EQ(r.path, "trace.templates");
 }
 
+TEST(TraceIoTest, FaultEventsRoundTripByteIdentical) {
+  // Crash/recover events ride in the same stream as admits/retires and
+  // must survive write -> parse -> write byte-for-byte, including their
+  // source annotations.
+  Trace t = sample_trace();
+  TraceEvent crash;
+  crash.kind = TraceEvent::Kind::kCrash;
+  crash.t_ns = 600000000;
+  crash.device = 2;
+  crash.source = "scripted";
+  t.events.push_back(crash);
+  TraceEvent recover;
+  recover.kind = TraceEvent::Kind::kRecover;
+  recover.t_ns = 900000000;
+  recover.device = 2;
+  recover.source = "mttr elapsed";
+  t.events.push_back(recover);
+  validate_trace(t);
+
+  const std::string first = trace_bytes(t);
+  const Trace reread = parse_trace(common::parse_json(first), "fallback");
+  validate_trace(reread);
+
+  ASSERT_EQ(reread.events.size(), 5u);
+  EXPECT_EQ(reread.events[3].kind, TraceEvent::Kind::kCrash);
+  EXPECT_EQ(reread.events[3].device, 2);
+  EXPECT_EQ(reread.events[3].id, -1);  // fault events carry no stream id
+  EXPECT_EQ(reread.events[4].kind, TraceEvent::Kind::kRecover);
+  EXPECT_EQ(reread.events[4].source, "mttr elapsed");
+  EXPECT_EQ(trace_bytes(reread), first);
+}
+
+TEST(TraceIoTest, RejectsMalformedFaultEvents) {
+  // Unknown fault kind.
+  const auto unknown =
+      reject(with_events(R"({"t_ns":0,"fault":"melt","device":0})"));
+  EXPECT_EQ(unknown.path, "trace.events[0].fault");
+  EXPECT_NE(unknown.message.find("melt"), std::string::npos);
+  // A fault needs its device.
+  const auto no_device = reject(with_events(R"({"t_ns":0,"fault":"crash"})"));
+  EXPECT_NE(no_device.message.find("device"), std::string::npos);
+  // Faults are fleet-level: no stream id allowed.
+  const auto with_id = reject(with_events(
+      R"({"t_ns":0,"fault":"crash","device":0,"id":3})"));
+  EXPECT_NE(with_id.message.find("id"), std::string::npos);
+  // And "device" only belongs on faults.
+  const auto admit_dev = reject(with_events(
+      R"({"t_ns":0,"admit":"cam","id":0,"device":1})"));
+  EXPECT_NE(admit_dev.message.find("device"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sgprs::trace

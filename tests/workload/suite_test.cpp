@@ -86,11 +86,13 @@ TEST_F(SuiteTest, DynamicSpecFillsTimeSeriesColumns) {
   std::getline(lines, header);
   std::getline(lines, row);
   EXPECT_NE(
-      header.find(",peak_devices,rejected_streams,oom_streams,shed_jobs,"),
+      header.find(",peak_devices,rejected_streams,oom_streams,shed_jobs,"
+                  "devices_failed,failovers,streams_lost,unavailability_s,"),
       std::string::npos)
       << header;
-  // peak_devices=1, rejected=0, oom=0, shed=0 for this tiny world.
-  EXPECT_NE(row.find(",1,0,0,0,,"), std::string::npos) << row;
+  // peak_devices=1, then zero rejected/oom/shed and zero fault columns
+  // for this tiny fault-free world.
+  EXPECT_NE(row.find(",1,0,0,0,0,0,0,0.000,,"), std::string::npos) << row;
 
   std::ostringstream json;
   write_suite_json(runs, json);

@@ -15,6 +15,7 @@
 //   sgprs_cli --scenario=scenarios/flash_crowd.json --record-trace=day.json
 //   sgprs_cli --trace=day.json
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -277,6 +278,52 @@ int run_loaded_spec(const workload::ScenarioSpec& spec,
   return 0;
 }
 
+/// Parses one --fail-device value ("<device>@<seconds>") into a scripted
+/// crash event. Returns false with a pointed message on any malformation.
+bool parse_fail_device(const std::string& arg, fleet::FaultEvent& ev) {
+  const auto at = arg.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 == arg.size()) {
+    std::cerr << "error: --fail-device: want <device>@<seconds> "
+                 "(e.g. 2@1.5), got \"" << arg << "\"\n";
+    return false;
+  }
+  const std::string dev = arg.substr(0, at);
+  const std::string when = arg.substr(at + 1);
+  char* end = nullptr;
+  const long idx = std::strtol(dev.c_str(), &end, 10);
+  if (!end || *end != '\0' || idx < 0) {
+    std::cerr << "error: --fail-device: device index must be a "
+                 "non-negative integer, got \"" << dev << "\"\n";
+    return false;
+  }
+  const double t = std::strtod(when.c_str(), &end);
+  if (!end || *end != '\0' || !(t > 0.0)) {
+    std::cerr << "error: --fail-device: crash time must be a positive "
+                 "number of seconds, got \"" << when << "\"\n";
+    return false;
+  }
+  ev.kind = fleet::FaultEvent::Kind::kCrash;
+  ev.device = static_cast<int>(idx);
+  ev.at_s = t;
+  return true;
+}
+
+/// Injects --fail-device crashes into the spec's fault section (creating
+/// one when the spec has none). Validation of device indices against the
+/// fleet shape is the spec validator's job — it names the field path.
+bool inject_fail_devices(const std::vector<std::string>& fail_devices,
+                         workload::ScenarioSpec& spec) {
+  if (fail_devices.empty()) return true;
+  if (!spec.faults) spec.faults = fleet::FaultSpec{};
+  for (const auto& arg : fail_devices) {
+    fleet::FaultEvent ev;
+    if (!parse_fail_device(arg, ev)) return false;
+    spec.faults->events.push_back(ev);
+  }
+  workload::validate(spec);
+  return true;
+}
+
 /// --scenario=file.json: run one declarative spec. Dynamic (timeline /
 /// fleet_policy) runs print the fleet-run summary and, when --report is
 /// set, write <report>.json (full run incl. time series and audit) and
@@ -285,7 +332,8 @@ int run_loaded_spec(const workload::ScenarioSpec& spec,
 /// the run's admit/retire stream is written out.
 int run_scenario_file(const std::string& path, const std::string& report,
                       const std::string& trace_path,
-                      const std::string& record_path, int shards_override) {
+                      const std::string& record_path, int shards_override,
+                      const std::vector<std::string>& fail_devices) {
   if (!fs::exists(path)) {
     std::cerr << "error: no such scenario spec: " << path << "\n";
     suggest_near(path);
@@ -311,6 +359,7 @@ int run_scenario_file(const std::string& path, const std::string& report,
     spec.timeline = std::move(tl);
     workload::validate(spec);
   }
+  if (!inject_fail_devices(fail_devices, spec)) return 1;
   return run_loaded_spec(spec, path, report, record_path);
 }
 
@@ -442,7 +491,8 @@ bool parse_base_config(const common::FlagParser& flags,
 /// horizon plus half a second of drain unless --duration is explicit.
 int run_trace_file(const std::string& path, const common::FlagParser& flags,
                    const std::string& report,
-                   const std::string& record_path) {
+                   const std::string& record_path,
+                   const std::vector<std::string>& fail_devices) {
   if (!fs::exists(path)) {
     std::cerr << "error: no such trace: " << path << "\n";
     suggest_near(path, "scenarios/traces", "trace");
@@ -465,6 +515,7 @@ int run_trace_file(const std::string& path, const common::FlagParser& flags,
         common::SimTime::from_ns(tr->horizon().ns + 500'000'000);
   }
   workload::validate(spec);
+  if (!inject_fail_devices(fail_devices, spec)) return 1;
   return run_loaded_spec(spec, path, report, record_path);
 }
 
@@ -478,12 +529,19 @@ int run(const common::FlagParser& flags) {
                              flags.has("report") ? flags.get("report") : "",
                              flags.get("trace"), flags.get("record-trace"),
                              flags.has("shards") ? flags.get_int("shards")
-                                                 : 0);
+                                                 : 0,
+                             flags.get_all("fail-device"));
   }
   if (flags.has("trace")) {
     return run_trace_file(flags.get("trace"), flags,
                           flags.has("report") ? flags.get("report") : "",
-                          flags.get("record-trace"));
+                          flags.get("record-trace"),
+                          flags.get_all("fail-device"));
+  }
+  if (flags.has("fail-device")) {
+    std::cerr << "error: --fail-device needs --scenario or --trace to know "
+                 "which fleet to crash\n";
+    return 1;
   }
   if (flags.has("record-trace")) {
     std::cerr << "error: --record-trace needs --scenario or --trace to "
@@ -637,6 +695,9 @@ int main(int argc, char** argv) {
                "worker threads for --experiment (0 = all hardware threads; "
                "results are byte-identical for any value)",
                "0");
+  flags.define_multi("fail-device",
+                     "inject a scripted crash into a --scenario/--trace "
+                     "run: <device>@<seconds>, e.g. --fail-device 2@1.5");
   flags.define("shards",
                "parallel shards inside one dynamic run (overrides the "
                "spec's sim.shards; results are byte-identical for any "
