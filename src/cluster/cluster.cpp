@@ -64,6 +64,11 @@ Cluster::Device Cluster::make_device(const gpu::DeviceSpec& spec, int index) {
   dev.scheduler = cfg_.wrap_scheduler
                       ? cfg_.wrap_scheduler(std::move(scheduler), index)
                       : std::move(scheduler);
+  if (cfg_.tracer_for) {
+    if (auto* tracer = cfg_.tracer_for(index)) {
+      dev.scheduler->set_tracer(tracer);
+    }
+  }
   return dev;
 }
 

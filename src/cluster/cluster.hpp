@@ -35,6 +35,10 @@
 #include "rt/naive_scheduler.hpp"
 #include "sim/engine.hpp"
 
+namespace sgprs::obs {
+class JobTracer;
+}  // namespace sgprs::obs
+
 namespace sgprs::cluster {
 
 using common::SimTime;
@@ -68,6 +72,12 @@ struct ClusterConfig {
   /// cluster's lifetime and consistent per index.
   std::function<sim::Engine&(int device_index)> engine_for;
   std::function<metrics::Collector&(int device_index)> collector_for;
+  /// Optional execution-span tracer per device (src/obs/span.hpp,
+  /// --trace-spans). Called once as each device's scheduler stack is
+  /// created; returning nullptr leaves that device untraced. The tracer
+  /// must outlive the cluster. Absent = no tracing (zero overhead beyond
+  /// one null check per scheduler hook).
+  std::function<obs::JobTracer*(int device_index)> tracer_for;
 };
 
 /// Context SM sizes one device of `spec` would expose under `pool`,

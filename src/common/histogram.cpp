@@ -1,0 +1,110 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sgprs::common {
+
+namespace {
+
+constexpr int kTopIndex =
+    (Histogram::kMaxExponent + 2) * Histogram::kSubBuckets - 1;
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // negatives and NaN clamp with the zeros
+  if (v < 1.0) {
+    // Multiplying by a power of two is exact, so the cast truncates the
+    // true linear bucket — never 128 (v < 1 strictly).
+    return static_cast<int>(v * kSubBuckets);
+  }
+  const int e = std::ilogb(v);
+  if (e > kMaxExponent) return kTopIndex;
+  // scalbn is an exact exponent shift and x - 1 is exact for x in [1, 2)
+  // (Sterbenz), so the sub-bucket is computed without rounding drift —
+  // bit-identical on every platform.
+  const double frac = std::scalbn(v, -e) - 1.0;
+  int sub = static_cast<int>(frac * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return (e + 1) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lo(int index) {
+  SGPRS_CHECK(index >= 0 && index <= kTopIndex);
+  if (index < kSubBuckets) {
+    return static_cast<double>(index) / kSubBuckets;
+  }
+  const int e = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  return std::scalbn(1.0 + static_cast<double>(sub) / kSubBuckets, e);
+}
+
+double Histogram::bucket_hi(int index) {
+  if (index >= kTopIndex) return std::scalbn(2.0, kMaxExponent);
+  return bucket_lo(index + 1);
+}
+
+void Histogram::add(double v) {
+  if (!(v > 0.0)) v = 0.0;
+  const int idx = bucket_index(v);
+  if (idx >= static_cast<int>(counts_.size())) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  SGPRS_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::int64_t c = counts_[i];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(cum + c)) {
+      // Model the bucket's c samples at evenly spaced interior positions
+      // and read off the fractional rank within it.
+      const double lo = bucket_lo(static_cast<int>(i));
+      const double hi = bucket_hi(static_cast<int>(i));
+      const double within =
+          (rank - static_cast<double>(cum) + 0.5) / static_cast<double>(c);
+      const double v = lo + (hi - lo) * within;
+      return std::clamp(v, min_, max_);
+    }
+    cum += c;
+  }
+  return max_;  // rank == count - 1 lands here via floating round-up
+}
+
+}  // namespace sgprs::common

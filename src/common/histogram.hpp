@@ -1,0 +1,75 @@
+// Mergeable log-linear histogram: exact integer bucket counts with exact
+// count / sum / min / max on the side.
+//
+// Bucket layout: values in [0, 1) land in kSubBuckets linear buckets of
+// width 1/kSubBuckets; each octave [2^e, 2^(e+1)) above that splits into
+// kSubBuckets log-linear buckets of width 2^e/kSubBuckets. Quantile reads
+// interpolate inside a bucket, so their error is bounded by one bucket
+// width — a relative error below 1/kSubBuckets (< 0.8%) everywhere.
+//
+// The property the metrics layer builds on is merge(): bucket counts are
+// integers and min/max are order-free, so folding per-shard (or
+// per-device) histograms and then reading a quantile returns *bit-equal*
+// doubles to one histogram fed the whole population, for any split
+// (pinned by tests/common/histogram_test.cpp). That is what makes the
+// fleet-wide p50/p99 in metrics/fleet.cpp exact rather than a
+// completed-weighted mean of per-device percentiles, while bounding a
+// 10k-device run at a few KB per task instead of an unbounded sample
+// vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sgprs::common {
+
+class Histogram {
+ public:
+  /// Buckets per octave (and linear buckets below 1.0).
+  static constexpr int kSubBuckets = 128;
+  /// Octaves above 1.0; values >= 2^(kMaxExponent+1) saturate into the
+  /// top bucket (their exact magnitude survives in max()/sum()).
+  static constexpr int kMaxExponent = 30;
+
+  /// Records one sample. Negative values clamp to 0 (latencies are
+  /// non-negative by construction; a clamp beats silent UB on a stray
+  /// rounding artefact).
+  void add(double v);
+
+  /// Folds `other` in: integer bucket-count sums plus exact min/max/sum.
+  void merge(const Histogram& other);
+
+  std::int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Quantile at q in [0, 1] (checked). Returns 0 when empty. Uses the
+  /// same fractional-rank convention as Percentiles (q * (count - 1)),
+  /// interpolated inside the covering bucket and clamped to [min, max] —
+  /// so quantile(0) == min and quantile(1) == max exactly.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Bucket geometry (export and tests).
+  static int bucket_index(double v);
+  static double bucket_lo(int index);
+  static double bucket_hi(int index);
+  /// Bucket counts, sized to the highest occupied index + 1.
+  const std::vector<std::int64_t>& buckets() const { return counts_; }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sgprs::common

@@ -53,7 +53,10 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Batch percentile estimator. Stores samples; quantile() sorts on demand.
+/// Batch percentile estimator. Stores samples; quantile() sorts lazily
+/// and caches the sorted state behind a dirty flag, so report writers
+/// that read p50 then p99 (then max) sort exactly once per add() burst —
+/// re-sorting only after new samples arrive.
 class Percentiles {
  public:
   void add(double x) { samples_.push_back(x); dirty_ = true; }

@@ -31,6 +31,7 @@
 #include "fleet/policy.hpp"
 #include "fleet/report.hpp"
 #include "metrics/collector.hpp"
+#include "obs/span.hpp"
 #include "rt/scheduler.hpp"
 
 namespace sgprs::fleet {
@@ -151,6 +152,7 @@ class OverloadGuard final : public rt::Scheduler {
         inner_->jobs_in_flight() >= cfg.queue_limit) {
       dev_->collector->on_release(task.id, now);
       dev_->collector->on_drop(task.id, now);
+      if (tracer_) tracer_->shed(task.id, now);
       ++dev_->jobs_shed;
       dev_->staged.push_back({now, DecisionKind::kJobShed, task.id, device_,
                               "in-flight at limit " +
@@ -164,6 +166,13 @@ class OverloadGuard final : public rt::Scheduler {
   int abort_in_flight() override { return inner_->abort_in_flight(); }
   std::string name() const override { return inner_->name(); }
   const rt::Scheduler* unwrap() const override { return inner_->unwrap(); }
+
+  /// Forward so the wrapped scheduler records release/dispatch/complete
+  /// while the guard records its own sheds on the same device track.
+  void set_tracer(obs::JobTracer* tracer) override {
+    tracer_ = tracer;
+    inner_->set_tracer(tracer);
+  }
 
  private:
   std::unique_ptr<rt::Scheduler> inner_;

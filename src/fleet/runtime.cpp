@@ -22,6 +22,9 @@
 #include "fleet/overload_guard.hpp"
 #include "fleet/sharding.hpp"
 #include "gpu/device.hpp"
+#include "obs/instruments.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "sim/engine.hpp"
 #include "trace/trace.hpp"
 
@@ -65,13 +68,16 @@ struct Orphan {
 class FleetRuntime {
  public:
   FleetRuntime(const ScenarioSpec& spec, const workload::RunSeeds& seeds,
-               trace::TraceRecorder* capture)
+               trace::TraceRecorder* capture,
+               const obs::Instruments& instruments)
       : spec_(spec),
         cfg_(workload::lower(spec)),
         policy_(spec.fleet_policy ? *spec.fleet_policy : FleetPolicySpec{}),
         timeline_(spec.timeline ? *spec.timeline : TimelineSpec{}),
         faults_(spec.faults ? *spec.faults : FaultSpec{}),
-        capture_(capture) {
+        capture_(capture),
+        sink_(instruments.spans),
+        prof_(instruments.profiler) {
     cfg_.seed = seeds.sim;
     workload::validate(cfg_);
     generator_seed_ = seeds.generator;
@@ -111,9 +117,13 @@ class FleetRuntime {
     overload_.audit = &result_.decisions;
     overload_.audit_truncated = &result_.truncated_decisions;
 
-    build_cluster();
-    build_prototypes();
-    place_initial_tasks();
+    {
+      obs::PhaseProfiler::Scope setup(prof_,
+                                      obs::PhaseProfiler::Phase::kSetup);
+      build_cluster();
+      build_prototypes();
+      place_initial_tasks();
+    }
     if (capture_) {
       capture_->set_templates(effective_templates());
     }
@@ -124,6 +134,8 @@ class FleetRuntime {
     if (sharded()) {
       run_sharded();
     } else {
+      obs::PhaseProfiler::Scope eng(prof_,
+                                    obs::PhaseProfiler::Phase::kEngineRun);
       engine_.run_until(cfg_.duration);
     }
     finish();
@@ -163,12 +175,16 @@ class FleetRuntime {
       const bool has_control = tc <= cfg_.duration;
       run_shards_until(has_control ? tc : cfg_.duration);
       if (!has_control) break;
+      obs::PhaseProfiler::Scope ctl(
+          prof_, obs::PhaseProfiler::Phase::kControlPhase);
       engine_.run_until(tc);
     }
     engine_.run_until(cfg_.duration);  // idle control calendar: advance now
   }
 
   void run_shards_until(SimTime t) {
+    obs::PhaseProfiler::Scope wave(prof_,
+                                   obs::PhaseProfiler::Phase::kShardPhase);
     std::vector<std::future<void>> joined;
     joined.reserve(shard_engines_.size());
     for (auto& eng : shard_engines_) {
@@ -229,6 +245,13 @@ class FleetRuntime {
       };
       ccfg.collector_for = [this](int device_index) -> metrics::Collector& {
         return device_collector(device_index);
+      };
+    }
+    if (sink_) {
+      // Per-device buffers: on the sharded path each is written only by
+      // its device's shard thread (and the control plane at barriers).
+      ccfg.tracer_for = [this](int device_index) {
+        return &sink_->device_tracer(device_index);
       };
     }
     cluster_ = std::make_unique<cluster::Cluster>(engine_, *collector_, ccfg);
@@ -350,6 +373,12 @@ class FleetRuntime {
               [](const LiveStream& a, const LiveStream& b) {
                 return a.task_id < b.task_id;
               });
+    if (sink_) {
+      for (const auto& s : live_) {
+        sink_->stream_admitted(SimTime::zero(), s.task_id, s.device,
+                               s.tmpl.empty() ? "task" : s.tmpl);
+      }
+    }
     const std::vector<bool>& oom = cluster_->rejected_oom();
     std::size_t reject_index = 0;
     for (const auto& t : cluster_->rejected_tasks()) {
@@ -582,6 +611,7 @@ class FleetRuntime {
     overload_.set_tier(id, tier);
     live_.push_back(LiveStream{id, &stored, *dev, now, tier, tmpl.name});
     ++result_.streams_admitted;
+    if (sink_) sink_->stream_admitted(now, id, *dev, tmpl.name);
     if (downgraded) {
       ++result_.streams_downgraded;
       record({now, DecisionKind::kStreamDowngraded, id, *dev,
@@ -625,6 +655,7 @@ class FleetRuntime {
     }
     cluster_->retire_task(it->device, id);
     record({now, kind, id, it->device, detail});
+    if (sink_) sink_->stream_retired(now, id);
     live_.erase(it);
     ++result_.streams_retired;
     return true;
@@ -657,6 +688,11 @@ class FleetRuntime {
       load.mean_utilization /= static_cast<double>(load.active_devices);
     }
 
+    if (sink_) {
+      sink_->control(now, "autoscale_tick", -1, -1,
+                     std::to_string(load.active_devices) + " active, " +
+                         std::to_string(load.warming_devices) + " warming");
+    }
     const int provisioned = load.active_devices + load.warming_devices;
     int desired = autoscaler_->desired_devices(load, acfg);
     desired = std::clamp(desired, acfg.min_devices, acfg.max_devices);
@@ -741,6 +777,7 @@ class FleetRuntime {
           // admitted − retired == live.
           record({now, DecisionKind::kStreamDropped, id, victim,
                   "no device admits the re-placed stream"});
+          if (sink_) sink_->stream_retired(now, id);
           ++result_.streams_retired;
         });
   }
@@ -771,9 +808,13 @@ class FleetRuntime {
     for (int id : ids) {
       cluster_->retire_task(victim, id, /*forget_metrics=*/true);
     }
-    const std::vector<cluster::PlaceResult> placed =
-        cluster_->placer().place_batch(
-            copies, /*force=*/!policy_.overload.admission_test);
+    std::vector<cluster::PlaceResult> placed;
+    {
+      obs::PhaseProfiler::Scope batch(
+          prof_, obs::PhaseProfiler::Phase::kPlacerBatch);
+      placed = cluster_->placer().place_batch(
+          copies, /*force=*/!policy_.overload.admission_test);
+    }
     for (std::size_t i = 0; i < ids.size(); ++i) {
       const int id = ids[i];
       auto it = std::find_if(live_.begin(), live_.end(),
@@ -793,6 +834,7 @@ class FleetRuntime {
       it->device = dev;
       record({now, success_kind, id, dev,
               "from device " + std::to_string(victim)});
+      if (sink_) sink_->stream_moved(now, id, dev);
       on_placed(id, dev);
     }
   }
@@ -932,7 +974,11 @@ class FleetRuntime {
     ++result_.devices_failed;
     record({now, DecisionKind::kDeviceFailed, -1, d, why});
     if (capture_) capture_->record_fault(now, d, /*crash=*/true, why);
-    result_.jobs_faulted += cluster_->abort_in_flight(d);
+    const int killed = cluster_->abort_in_flight(d);
+    result_.jobs_faulted += killed;
+    // Recorded from the control plane (the shards are parked at this
+    // barrier) because abort_in_flight has no notion of sim time.
+    if (sink_ && killed > 0) sink_->device_tracer(d).abort_all(killed, now);
     replace_streams(
         d, now, DecisionKind::kStreamFailedOver,
         [&](int, int) {
@@ -942,6 +988,7 @@ class FleetRuntime {
         [&](int id, rt::Task&& task, int tier, std::string tmpl) {
           record({now, DecisionKind::kStreamOrphaned, id, d,
                   "no device admits the failed-over stream"});
+          if (sink_) sink_->stream_moved(now, id, -1);
           Orphan o;
           o.task_id = id;
           o.task = std::move(task);
@@ -1052,12 +1099,14 @@ class FleetRuntime {
     }
     record({now, DecisionKind::kStreamFailedOver, o.task_id, *dev,
             "from device " + std::to_string(o.from_device)});
+    if (sink_) sink_->stream_moved(now, o.task_id, *dev);
     return true;
   }
 
   void drop_orphan(const Orphan& o, SimTime now, const std::string& why) {
     record({now, DecisionKind::kStreamDropped, o.task_id, o.from_device,
             why});
+    if (sink_) sink_->stream_retired(now, o.task_id);
     // The stream *was* admitted, so it leaves as retired (keeping
     // admitted − retired == live) as well as lost.
     ++result_.streams_lost;
@@ -1175,7 +1224,12 @@ class FleetRuntime {
 
   // --- wrap-up -------------------------------------------------------
 
-  void record(FleetDecision d) { overload_.record(std::move(d)); }
+  void record(FleetDecision d) {
+    if (sink_) {
+      sink_->control(d.at, to_string(d.kind), d.task_id, d.device, d.detail);
+    }
+    overload_.record(std::move(d));
+  }
 
   void finish() {
     // Orphans still homeless at the horizon are lost: their downtime is
@@ -1189,6 +1243,12 @@ class FleetRuntime {
     }
     orphans_.clear();
     overload_.flush_all();  // sheds after the last control decision
+    if (sink_) {
+      sink_->set_horizon(cfg_.duration);
+      for (int d = 0; d < cluster_->num_devices(); ++d) {
+        sink_->set_device_name(d, cluster_->device(d).spec.name);
+      }
+    }
     result_.name = spec_.name;
     if (sharded()) {
       // Canonical cross-shard reduction: fold per-device collectors in
@@ -1196,6 +1256,8 @@ class FleetRuntime {
       // classic path reports from its shared collector — so a re-placed
       // stream's whole (possibly cross-shard) history is attributed to its
       // final home and the sample multisets match byte for byte.
+      obs::PhaseProfiler::Scope reduce(
+          prof_, obs::PhaseProfiler::Phase::kCollectorReduce);
       metrics::Collector merged(cfg_.warmup);
       for (const auto& col : device_collectors_) merged.merge_from(col);
       result_.fleet = cluster_->fleet_report(cfg_.duration, &merged);
@@ -1251,6 +1313,8 @@ class FleetRuntime {
   std::vector<LiveStream> live_;  // admission order
   int next_task_id_ = 0;
   trace::TraceRecorder* capture_ = nullptr;
+  obs::SpanSink* sink_ = nullptr;       // --trace-spans (null = off)
+  obs::PhaseProfiler* prof_ = nullptr;  // --profile (null = off)
   /// Replay: recorded id -> id this run assigned (identity on an exact
   /// replay; diverges when a scaled trace meets admission rejections).
   std::unordered_map<int, int> trace_ids_;
@@ -1279,9 +1343,16 @@ class FleetRuntime {
 
 FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,
                                   const workload::RunSeeds& seeds,
-                                  trace::TraceRecorder* capture) {
-  FleetRuntime runtime(spec, seeds, capture);
+                                  trace::TraceRecorder* capture,
+                                  const obs::Instruments& instruments) {
+  FleetRuntime runtime(spec, seeds, capture, instruments);
   return runtime.run();
+}
+
+FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds,
+                                  trace::TraceRecorder* capture) {
+  return run_fleet_scenario(spec, seeds, capture, obs::Instruments{});
 }
 
 FleetRunResult run_fleet_scenario(const ScenarioSpec& spec,

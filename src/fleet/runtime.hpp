@@ -41,6 +41,10 @@ namespace sgprs::trace {
 class TraceRecorder;
 }  // namespace sgprs::trace
 
+namespace sgprs::obs {
+struct Instruments;
+}  // namespace sgprs::obs
+
 namespace sgprs::fleet {
 
 /// Runs one open-world spec (validated by the caller; run_spec and the
@@ -60,5 +64,15 @@ FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
 FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
                                   const workload::RunSeeds& seeds,
                                   trace::TraceRecorder* capture);
+
+/// Instrumented variant (docs/observability.md): `instruments.spans`
+/// collects execution spans for --trace-spans, `instruments.profiler`
+/// times the runtime's coarse phases for --profile. Both are optional and
+/// neither perturbs the run — the report is byte-identical with and
+/// without instruments attached.
+FleetRunResult run_fleet_scenario(const workload::ScenarioSpec& spec,
+                                  const workload::RunSeeds& seeds,
+                                  trace::TraceRecorder* capture,
+                                  const obs::Instruments& instruments);
 
 }  // namespace sgprs::fleet

@@ -25,7 +25,7 @@ void Collector::on_complete(int task, SimTime release, SimTime deadline,
   }
   const double lat_ms = (now - release).to_ms();
   pt.latency_ms.add(lat_ms);
-  pt.latency_pct_ms.add(lat_ms);
+  pt.latency_hist_ms.add(lat_ms);
 }
 
 Snapshot Collector::snapshot_of(const PerTask& pt, SimTime end) const {
@@ -41,9 +41,10 @@ Snapshot Collector::snapshot_of(const PerTask& pt, SimTime end) const {
               : static_cast<double>(pt.counts.late + pt.counts.dropped) /
                     static_cast<double>(closed);
   s.mean_latency_ms = pt.latency_ms.mean();
-  s.p50_latency_ms = pt.latency_pct_ms.p50();
-  s.p99_latency_ms = pt.latency_pct_ms.p99();
-  s.max_latency_ms = pt.latency_pct_ms.max();
+  s.p50_latency_ms = pt.latency_hist_ms.p50();
+  s.p99_latency_ms = pt.latency_hist_ms.p99();
+  s.max_latency_ms = pt.latency_hist_ms.max();
+  s.latency_hist_ms = pt.latency_hist_ms;
   return s;
 }
 
@@ -56,7 +57,7 @@ void merge_into(PerTaskT& all, const PerTaskT& pt) {
   all.counts.on_time += pt.counts.on_time;
   all.counts.late += pt.counts.late;
   all.latency_ms.merge(pt.latency_ms);
-  for (double x : pt.latency_pct_ms.samples()) all.latency_pct_ms.add(x);
+  all.latency_hist_ms.merge(pt.latency_hist_ms);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
 
@@ -41,6 +42,11 @@ struct Snapshot {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  /// The latency distribution behind the scalars above. Carried so
+  /// roll_up_snapshots can merge distributions instead of averaging
+  /// percentiles — integer bucket counts make the fleet-wide p50/p99
+  /// exact (common/histogram.hpp).
+  common::Histogram latency_hist_ms;
 };
 
 class Collector {
@@ -69,11 +75,11 @@ class Collector {
   std::vector<int> task_ids() const;
 
   /// Folds another collector's per-task records into this one (counter
-  /// sums, Welford merge, percentile-sample append). The sharded fleet
-  /// runtime reduces its per-device collectors through this in device-index
-  /// order — a canonical order, so the merged sample multiset (and every
-  /// sorted-percentile read) is independent of shard count and thread
-  /// scheduling. Warm-up boundaries must match (checked).
+  /// sums, Welford merge, histogram bucket-count sums). Integer bucket
+  /// counts make the merge exact: the sharded fleet runtime reduces its
+  /// per-device collectors through this and every percentile read is
+  /// bit-identical to a single shared collector, independent of shard
+  /// count and thread scheduling. Warm-up boundaries must match (checked).
   void merge_from(const Collector& other);
 
   SimTime warmup() const { return warmup_; }
@@ -82,7 +88,7 @@ class Collector {
   struct PerTask {
     TaskCounters counts;
     common::RunningStats latency_ms;
-    common::Percentiles latency_pct_ms;
+    common::Histogram latency_hist_ms;
   };
   bool in_window(SimTime release) const { return release >= warmup_; }
   Snapshot snapshot_of(const PerTask& pt, SimTime end) const;

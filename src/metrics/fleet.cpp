@@ -6,10 +6,6 @@ namespace sgprs::metrics {
 
 Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device) {
   Snapshot fleet;
-  double weighted_mean = 0.0;
-  double weighted_p50 = 0.0;
-  double weighted_p99 = 0.0;
-  std::int64_t completed = 0;
   for (const auto& s : per_device) {
     fleet.counts.released += s.counts.released;
     fleet.counts.dropped += s.counts.dropped;
@@ -17,12 +13,9 @@ Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device) {
     fleet.counts.late += s.counts.late;
     fleet.fps += s.fps;
     fleet.fps_on_time += s.fps_on_time;
-    const double w = static_cast<double>(s.counts.completed());
-    weighted_mean += w * s.mean_latency_ms;
-    weighted_p50 += w * s.p50_latency_ms;
-    weighted_p99 += w * s.p99_latency_ms;
-    completed += s.counts.completed();
-    fleet.max_latency_ms = std::max(fleet.max_latency_ms, s.max_latency_ms);
+    // Distribution merge, not percentile averaging: integer bucket-count
+    // sums make the fleet p50/p99 below exact for any device split.
+    fleet.latency_hist_ms.merge(s.latency_hist_ms);
   }
   const auto closed = fleet.counts.closed();
   fleet.dmr = closed == 0
@@ -30,10 +23,11 @@ Snapshot roll_up_snapshots(const std::vector<Snapshot>& per_device) {
                   : static_cast<double>(fleet.counts.late +
                                         fleet.counts.dropped) /
                         static_cast<double>(closed);
-  if (completed > 0) {
-    fleet.mean_latency_ms = weighted_mean / static_cast<double>(completed);
-    fleet.p50_latency_ms = weighted_p50 / static_cast<double>(completed);
-    fleet.p99_latency_ms = weighted_p99 / static_cast<double>(completed);
+  if (!fleet.latency_hist_ms.empty()) {
+    fleet.mean_latency_ms = fleet.latency_hist_ms.mean();
+    fleet.p50_latency_ms = fleet.latency_hist_ms.p50();
+    fleet.p99_latency_ms = fleet.latency_hist_ms.p99();
+    fleet.max_latency_ms = fleet.latency_hist_ms.max();
   }
   return fleet;
 }

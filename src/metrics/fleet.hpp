@@ -1,11 +1,11 @@
 // Fleet-level metrics: per-device snapshots rolled up into one report.
 //
 // Rollup semantics: counts and rates (FPS) sum across devices; DMR is
-// recomputed from the summed counts; mean latency is completed-weighted;
-// p50/p99 are completed-weighted means of the per-device percentiles (an
-// approximation — exact fleet percentiles come from a shared Collector);
-// max latency is the max. Utilization is SM-weighted so a big idle device
-// drags the fleet number down proportionally to its size.
+// recomputed from the summed counts; latency mean/p50/p99/max come from
+// the merged per-device histograms (common/histogram.hpp), so the fleet
+// percentiles are exact — bit-identical to a shared Collector over the
+// same population. Utilization is SM-weighted so a big idle device drags
+// the fleet number down proportionally to its size.
 #pragma once
 
 #include <string>

@@ -1,0 +1,21 @@
+// Optional observability attachments threaded through run_spec and
+// run_fleet_scenario (docs/observability.md). Null members are simply
+// off: the hooks they guard cost one branch, and neither attachment ever
+// perturbs the simulated run — span files are byte-identical at any shard
+// count, and report bytes are identical with and without instruments
+// (pinned by tests/obs/).
+#pragma once
+
+namespace sgprs::obs {
+
+class SpanSink;
+class PhaseProfiler;
+
+struct Instruments {
+  SpanSink* spans = nullptr;
+  PhaseProfiler* profiler = nullptr;
+
+  bool any() const { return spans != nullptr || profiler != nullptr; }
+};
+
+}  // namespace sgprs::obs

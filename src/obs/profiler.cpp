@@ -1,0 +1,69 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "common/json_writer.hpp"
+
+namespace sgprs::obs {
+
+const char* PhaseProfiler::phase_name(Phase p) {
+  switch (p) {
+    case Phase::kSetup: return "setup";
+    case Phase::kShardPhase: return "shard_phase";
+    case Phase::kControlPhase: return "control_phase";
+    case Phase::kEngineRun: return "engine_run";
+    case Phase::kPlacerBatch: return "placer_batch";
+    case Phase::kCollectorReduce: return "collector_reduce";
+    case Phase::kSpanExport: return "span_export";
+    case Phase::kReportWrite: return "report_write";
+    case Phase::kRun: return "run";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void PhaseProfiler::add(Phase p, double seconds) {
+  SGPRS_CHECK(p != Phase::kCount);
+  Stat& s = stats_[static_cast<int>(p)];
+  ++s.count;
+  s.total_s += seconds;
+  if (seconds > s.max_s) s.max_s = seconds;
+}
+
+void PhaseProfiler::print(std::ostream& out) const {
+  out << "phase profile (wall clock)\n";
+  out << "  phase             count     total ms       max ms\n";
+  char buf[96];
+  for (int i = 0; i < kPhases; ++i) {
+    const Stat& s = stats_[i];
+    if (s.count == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-16s %6lld %12.3f %12.3f\n",
+                  phase_name(static_cast<Phase>(i)),
+                  static_cast<long long>(s.count), s.total_s * 1e3,
+                  s.max_s * 1e3);
+    out << buf;
+  }
+}
+
+void PhaseProfiler::write_json(std::ostream& out) const {
+  common::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "sgprs-profile-v1");
+  w.key("phases").begin_array();
+  for (int i = 0; i < kPhases; ++i) {
+    const Stat& s = stats_[i];
+    if (s.count == 0) continue;
+    w.begin_object();
+    w.field("phase", phase_name(static_cast<Phase>(i)));
+    w.field("count", s.count);
+    w.field("total_s", s.total_s);
+    w.field("max_s", s.max_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace sgprs::obs

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "dnn/partition.hpp"
+#include "obs/span.hpp"
 
 namespace sgprs::rt {
 
@@ -47,8 +48,10 @@ void NaiveScheduler::release_job(const Task& task, SimTime now) {
                       task_ctx_[task.id] >= 0,
                   "release before admit");
   collector_.on_release(task.id, now);
+  if (tracer_) tracer_->release(task.id, now);
   if (in_flight_[task.id] >= cfg_.max_in_flight_per_task) {
     collector_.on_drop(task.id, now);  // frame buffer still full
+    if (tracer_) tracer_->drop(task.id, now, now);
     return;
   }
   ++in_flight_[task.id];
@@ -69,6 +72,9 @@ void NaiveScheduler::try_dispatch(int ctx_idx, SimTime now) {
   cs.fifo.pop_front();
   cs.busy = true;
   job->last_ctx = ctx_idx;
+  // Single whole-network dispatch: this is always the job's first (and
+  // only) move from queue to execution.
+  if (tracer_) tracer_->dispatch(job->task->id, job->release, now);
 
   // Whole-network execution, no stage-level scheduling: every layer kernel
   // of the job in topological order on the single stream.
@@ -89,6 +95,7 @@ void NaiveScheduler::try_dispatch(int ctx_idx, SimTime now) {
 
 void NaiveScheduler::on_job_complete(Job& job, int ctx_idx, SimTime now) {
   collector_.on_complete(job.task->id, job.release, job.abs_deadline, now);
+  if (tracer_) tracer_->complete(job.task->id, job.release, now);
   --in_flight_[job.task->id];
   jobs_.release(job);
   // The context frees only after the host round-trip (synchronize + frame

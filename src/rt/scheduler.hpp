@@ -12,6 +12,10 @@
 #include "metrics/collector.hpp"
 #include "rt/task.hpp"
 
+namespace sgprs::obs {
+class JobTracer;
+}  // namespace sgprs::obs
+
 namespace sgprs::rt {
 
 class Scheduler {
@@ -39,6 +43,16 @@ class Scheduler {
   /// fleet overload guard) forward to the wrapped instance so counter
   /// introspection (dynamic_cast to SgprsScheduler) keeps working.
   virtual const Scheduler* unwrap() const { return this; }
+
+  /// Attaches this device's execution-span tracer (src/obs/span.hpp,
+  /// --trace-spans); nullptr detaches. Decorators override to forward so
+  /// the wrapped scheduler records release/dispatch/complete while the
+  /// decorator records its own events (the overload guard's sheds). Off
+  /// (the default) costs one null check per hook site.
+  virtual void set_tracer(obs::JobTracer* tracer) { tracer_ = tracer; }
+
+ protected:
+  obs::JobTracer* tracer_ = nullptr;
 };
 
 }  // namespace sgprs::rt

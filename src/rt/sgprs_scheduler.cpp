@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "dnn/partition.hpp"
+#include "obs/span.hpp"
 
 namespace sgprs::rt {
 
@@ -42,8 +43,10 @@ double SgprsScheduler::stage_wcet_sec(const Job& job, int stage,
 void SgprsScheduler::release_job(const Task& task, SimTime now) {
   SGPRS_CHECK(task.id < static_cast<int>(in_flight_.size()));
   collector_.on_release(task.id, now);
+  if (tracer_) tracer_->release(task.id, now);
   if (in_flight_[task.id] >= cfg_.max_in_flight_per_task) {
     collector_.on_drop(task.id, now);
+    if (tracer_) tracer_->drop(task.id, now, now);
     return;
   }
   ++in_flight_[task.id];
@@ -183,6 +186,7 @@ void SgprsScheduler::release_stage(Job& job, SimTime now) {
   if (cfg_.abort_hopeless && now > job.abs_deadline) {
     ++aborts_;
     collector_.on_drop(job.task->id, job.release);
+    if (tracer_) tracer_->drop(job.task->id, job.release, now);
     --in_flight_[job.task->id];
     retire_job(job);
     return;
@@ -249,6 +253,11 @@ void SgprsScheduler::dispatch(CtxState& cs, Slot& slot, QueuedStage qs,
   cs.queued_work_sec = std::max(0.0, cs.queued_work_sec - wcet);
   slot.busy = true;
   slot.est_done = now + SimTime::from_sec(wcet);
+  // First dispatch of the job (never assigned a context yet): the span
+  // boundary between queue wait and execution.
+  if (tracer_ && job.last_ctx < 0) {
+    tracer_->dispatch(job.task->id, job.release, now);
+  }
   job.last_ctx = static_cast<int>(&cs - contexts_.data());
 
   const bool high_slot =
@@ -281,6 +290,7 @@ void SgprsScheduler::on_stage_complete(Job& job, int stage, int ctx_idx,
   job.next_stage = stage + 1;
   if (job.next_stage == job.task->stage_count()) {
     collector_.on_complete(job.task->id, job.release, job.abs_deadline, now);
+    if (tracer_) tracer_->complete(job.task->id, job.release, now);
     --in_flight_[job.task->id];
     retire_job(job);
   } else {

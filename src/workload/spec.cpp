@@ -13,6 +13,7 @@
 #include "dnn/builders.hpp"
 #include "dnn/profiler.hpp"
 #include "fleet/runtime.hpp"
+#include "obs/instruments.hpp"
 #include "trace/trace.hpp"
 #include "workload/spec_util.hpp"
 #include "workload/taskset.hpp"
@@ -603,7 +604,8 @@ void capture_static_run(const ScenarioSpec& spec,
 /// because it is only invoked synchronously inside the run_* call below.
 SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
                          std::uint64_t generator_seed,
-                         trace::TraceRecorder* capture) {
+                         trace::TraceRecorder* capture,
+                         const obs::Instruments& instruments) {
   ScenarioConfig cfg = lower(spec);
   cfg.seed = sim_seed;
 
@@ -617,7 +619,8 @@ SpecResult run_spec_impl(const ScenarioSpec& spec, std::uint64_t sim_seed,
     RunSeeds seeds;
     seeds.sim = sim_seed;
     seeds.generator = generator_seed;
-    result.dyn = fleet::run_fleet_scenario(spec, seeds, capture);
+    result.dyn =
+        fleet::run_fleet_scenario(spec, seeds, capture, instruments);
     return result;
   }
   // Simple specs run through the default identical-task builder — the
@@ -678,16 +681,26 @@ SpecResult run_spec(const ScenarioSpec& spec,
                     trace::TraceRecorder* capture) {
   validate(spec);
   return run_spec_impl(spec, spec.base.seed,
-                       spec.generator ? spec.generator->seed : 0, capture);
+                       spec.generator ? spec.generator->seed : 0, capture,
+                       obs::Instruments{});
 }
 
 SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds) {
-  return run_spec_impl(spec, seeds.sim, seeds.generator, nullptr);
+  return run_spec_impl(spec, seeds.sim, seeds.generator, nullptr,
+                       obs::Instruments{});
 }
 
 SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
                     trace::TraceRecorder* capture) {
-  return run_spec_impl(spec, seeds.sim, seeds.generator, capture);
+  return run_spec_impl(spec, seeds.sim, seeds.generator, capture,
+                       obs::Instruments{});
+}
+
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
+                    trace::TraceRecorder* capture,
+                    const obs::Instruments& instruments) {
+  return run_spec_impl(spec, seeds.sim, seeds.generator, capture,
+                       instruments);
 }
 
 }  // namespace sgprs::workload

@@ -27,6 +27,10 @@ namespace sgprs::trace {
 class TraceRecorder;
 }  // namespace sgprs::trace
 
+namespace sgprs::obs {
+struct Instruments;
+}  // namespace sgprs::obs
+
 namespace sgprs::workload {
 
 /// One task entry: `count` replicas of a (network, rate, stages, arrival)
@@ -214,5 +218,15 @@ SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds);
 SpecResult run_spec(const ScenarioSpec& spec, trace::TraceRecorder* capture);
 SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
                     trace::TraceRecorder* capture);
+
+/// Instrumented variant (--trace-spans / --profile, docs/observability.md).
+/// Span tracing requires the dynamic fleet-runtime path; the CLI rejects
+/// --trace-spans on static specs up front. The profiler attaches to any
+/// path (the dynamic runtime additionally times its internal phases).
+/// Neither instrument perturbs the run: report bytes are identical with
+/// and without them.
+SpecResult run_spec(const ScenarioSpec& spec, const RunSeeds& seeds,
+                    trace::TraceRecorder* capture,
+                    const obs::Instruments& instruments);
 
 }  // namespace sgprs::workload

@@ -26,6 +26,11 @@ metrics::DeviceReport device_report(int index, int sms, int tasks,
   d.snapshot.p50_latency_ms = mean_ms;
   d.snapshot.p99_latency_ms = 2.0 * mean_ms;
   d.snapshot.max_latency_ms = 3.0 * mean_ms;
+  // The rollup derives fleet latency from merged histograms, not from the
+  // scalar fields above: one sample per completed frame, all at mean_ms.
+  for (std::int64_t i = 0; i < on_time + late; ++i) {
+    d.snapshot.latency_hist_ms.add(mean_ms);
+  }
   d.utilization = util;
   return d;
 }
@@ -42,10 +47,14 @@ TEST(FleetRollup, CountsAndRatesSumAcrossDevices) {
   EXPECT_DOUBLE_EQ(fleet.fleet.fps, 280.0);
   // DMR recomputed from summed counts: (10 late + 20 dropped) / 300.
   EXPECT_DOUBLE_EQ(fleet.fleet.dmr, 0.1);
-  // Latency means weight by completed frames (100 vs 180).
+  // Latency comes from the merged histograms (exact distribution merge):
+  // 100 samples at 10 ms and 180 at 20 ms.
   EXPECT_DOUBLE_EQ(fleet.fleet.mean_latency_ms,
                    (100.0 * 10.0 + 180.0 * 20.0) / 280.0);
-  EXPECT_DOUBLE_EQ(fleet.fleet.max_latency_ms, 60.0);
+  EXPECT_DOUBLE_EQ(fleet.fleet.max_latency_ms, 20.0);
+  // The fleet median sits in the 20 ms mass (rank 139.5 of 280), exactly —
+  // no per-device percentile averaging.
+  EXPECT_DOUBLE_EQ(fleet.fleet.p50_latency_ms, 20.0);
   // Utilization weights by SM count: (68*0.5 + 82*0.25) / 150.
   EXPECT_DOUBLE_EQ(fleet.mean_utilization, (68.0 * 0.5 + 82.0 * 0.25) / 150.0);
   EXPECT_EQ(fleet.tasks_assigned, 10);

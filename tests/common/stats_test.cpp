@@ -239,6 +239,30 @@ TEST(Percentiles, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.5);
 }
 
+TEST(Percentiles, CachedQuantilesMatchFreshEstimatorUnderInterleaving) {
+  // Differential pin for the sorted-state cache (the dirty flag in
+  // stats.hpp): interleave add() bursts with quantile reads and require
+  // every answer to equal a freshly built estimator over the same
+  // samples — the cache must be invisible.
+  Rng rng(21);
+  Percentiles cached;
+  std::vector<double> seen;
+  for (int step = 0; step < 200; ++step) {
+    const int burst = static_cast<int>(rng.uniform_int(1, 5));
+    for (int i = 0; i < burst; ++i) {
+      const double v = rng.uniform(0.0, 100.0);
+      cached.add(v);
+      seen.push_back(v);
+    }
+    const double q = rng.next_double();
+    Percentiles fresh;
+    for (double v : seen) fresh.add(v);
+    EXPECT_DOUBLE_EQ(cached.quantile(q), fresh.quantile(q))
+        << "step " << step;
+    EXPECT_DOUBLE_EQ(cached.max(), fresh.max()) << "step " << step;
+  }
+}
+
 TEST(Percentiles, UniformQuantilesRoughlyLinear) {
   Percentiles p;
   Rng rng(13);

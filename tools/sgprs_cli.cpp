@@ -14,6 +14,8 @@
 //             --jobs=4 --report=experiment_report
 //   sgprs_cli --scenario=scenarios/flash_crowd.json --record-trace=day.json
 //   sgprs_cli --trace=day.json
+//   sgprs_cli --scenario=scenarios/diurnal_wave.json \
+//             --trace-spans=spans.json --profile
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -27,6 +29,9 @@
 #include "fleet/report.hpp"
 #include "metrics/report.hpp"
 #include "metrics/timeseries.hpp"
+#include "obs/instruments.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "trace/trace.hpp"
 #include "workload/experiment.hpp"
 #include "workload/scenario.hpp"
@@ -103,21 +108,23 @@ void suggest_near_dir(const std::string& dir) {
   }
 }
 
-/// Opens the --record-trace output before the run burns any wall clock: a
-/// missing or unwritable directory must fail fast with a pointed error,
-/// not after the simulation finishes.
-bool open_record_trace(const std::string& path, std::ofstream& out) {
+/// Opens a `flag`-supplied output file before the run burns any wall
+/// clock: a missing or unwritable directory must fail fast with a pointed
+/// error (and nearby-directory suggestions), not after the simulation
+/// finishes. Shared by --record-trace and --trace-spans.
+bool open_output_file(const char* flag, const std::string& path,
+                      std::ofstream& out) {
   const fs::path parent = fs::path(path).parent_path();
   std::error_code ec;
   if (!parent.empty() && !fs::is_directory(parent, ec)) {
-    std::cerr << "error: --record-trace: directory \"" << parent.string()
+    std::cerr << "error: " << flag << ": directory \"" << parent.string()
               << "\" does not exist\n";
     suggest_near_dir(parent.string());
     return false;
   }
   out.open(path, std::ios::trunc);
   if (!out) {
-    std::cerr << "error: --record-trace: cannot write \"" << path
+    std::cerr << "error: " << flag << ": cannot write \"" << path
               << "\" (directory not writable?)\n";
     return false;
   }
@@ -229,21 +236,52 @@ void print_single(const std::string& scheduler, int tasks,
 /// the recorded trace's description.
 int run_loaded_spec(const workload::ScenarioSpec& spec,
                     const std::string& origin, const std::string& report,
-                    const std::string& record_path) {
+                    const std::string& record_path,
+                    const std::string& span_path, bool profile) {
   std::ofstream trace_out;
   std::unique_ptr<trace::TraceRecorder> recorder;
   if (!record_path.empty()) {
-    if (!open_record_trace(record_path, trace_out)) return 1;
+    if (!open_output_file("--record-trace", record_path, trace_out)) {
+      return 1;
+    }
     recorder = std::make_unique<trace::TraceRecorder>(
         spec.name, "recorded from " + origin);
   }
-  const auto r = workload::run_spec(spec, recorder.get());
+  std::ofstream span_out;
+  std::unique_ptr<obs::SpanSink> spans;
+  if (!span_path.empty()) {
+    if (!spec.dynamic()) {
+      std::cerr << "error: --trace-spans requires a dynamic "
+                   "(timeline/fleet_policy) scenario; a closed-world run "
+                   "has no span stream to export\n";
+      return 1;
+    }
+    if (!open_output_file("--trace-spans", span_path, span_out)) return 1;
+    spans = std::make_unique<obs::SpanSink>();
+  }
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+  if (profile) profiler = std::make_unique<obs::PhaseProfiler>();
+  obs::Instruments instruments;
+  instruments.spans = spans.get();
+  instruments.profiler = profiler.get();
+
+  workload::validate(spec);
+  workload::RunSeeds seeds;
+  seeds.sim = spec.base.seed;
+  seeds.generator = spec.generator ? spec.generator->seed : 0;
+  const auto r = [&] {
+    obs::PhaseProfiler::Scope whole(profiler.get(),
+                                    obs::PhaseProfiler::Phase::kRun);
+    return workload::run_spec(spec, seeds, recorder.get(), instruments);
+  }();
   std::cout << "scenario " << spec.name;
   if (!spec.description.empty()) std::cout << " — " << spec.description;
   std::cout << "\n\n";
   if (r.dynamic) {
     fleet::print_fleet_run(r.dyn, std::cout);
     if (!report.empty()) {
+      obs::PhaseProfiler::Scope write(
+          profiler.get(), obs::PhaseProfiler::Phase::kReportWrite);
       const std::string json_path = report + ".json";
       const std::string series_path = report + "_series.csv";
       std::ofstream json(json_path);
@@ -274,6 +312,32 @@ int run_loaded_spec(const workload::ScenarioSpec& spec,
     trace::write_trace(recorder->trace(), trace_out);
     std::cout << "wrote trace " << record_path << " ("
               << recorder->trace().events.size() << " events)\n";
+  }
+  if (spans) {
+    {
+      obs::PhaseProfiler::Scope exp(profiler.get(),
+                                    obs::PhaseProfiler::Phase::kSpanExport);
+      spans->write_perfetto(span_out);
+    }
+    std::cout << "wrote spans " << span_path << " ("
+              << spans->total_events() << " events, "
+              << spans->num_devices() << " device tracks)\n";
+  }
+  if (profiler) {
+    // Wall-clock numbers go to stderr (varies run to run) and, with
+    // --report, to a _profile.json sidecar that the deterministic
+    // byte-compare set deliberately excludes.
+    profiler->print(std::cerr);
+    if (!report.empty()) {
+      const std::string prof_path = report + "_profile.json";
+      std::ofstream prof_out(prof_path);
+      if (!prof_out) {
+        std::cerr << "cannot write " << prof_path << "\n";
+        return 1;
+      }
+      profiler->write_json(prof_out);
+      std::cout << "wrote " << prof_path << "\n";
+    }
   }
   return 0;
 }
@@ -333,7 +397,8 @@ bool inject_fail_devices(const std::vector<std::string>& fail_devices,
 int run_scenario_file(const std::string& path, const std::string& report,
                       const std::string& trace_path,
                       const std::string& record_path, int shards_override,
-                      const std::vector<std::string>& fail_devices) {
+                      const std::vector<std::string>& fail_devices,
+                      const std::string& span_path, bool profile) {
   if (!fs::exists(path)) {
     std::cerr << "error: no such scenario spec: " << path << "\n";
     suggest_near(path);
@@ -360,7 +425,8 @@ int run_scenario_file(const std::string& path, const std::string& report,
     workload::validate(spec);
   }
   if (!inject_fail_devices(fail_devices, spec)) return 1;
-  return run_loaded_spec(spec, path, report, record_path);
+  return run_loaded_spec(spec, path, report, record_path, span_path,
+                         profile);
 }
 
 /// --experiment=file.json: expand the grid x replications, run on a worker
@@ -492,7 +558,8 @@ bool parse_base_config(const common::FlagParser& flags,
 int run_trace_file(const std::string& path, const common::FlagParser& flags,
                    const std::string& report,
                    const std::string& record_path,
-                   const std::vector<std::string>& fail_devices) {
+                   const std::vector<std::string>& fail_devices,
+                   const std::string& span_path, bool profile) {
   if (!fs::exists(path)) {
     std::cerr << "error: no such trace: " << path << "\n";
     suggest_near(path, "scenarios/traces", "trace");
@@ -516,7 +583,8 @@ int run_trace_file(const std::string& path, const common::FlagParser& flags,
   }
   workload::validate(spec);
   if (!inject_fail_devices(fail_devices, spec)) return 1;
-  return run_loaded_spec(spec, path, report, record_path);
+  return run_loaded_spec(spec, path, report, record_path, span_path,
+                         profile);
 }
 
 int run(const common::FlagParser& flags) {
@@ -530,13 +598,17 @@ int run(const common::FlagParser& flags) {
                              flags.get("trace"), flags.get("record-trace"),
                              flags.has("shards") ? flags.get_int("shards")
                                                  : 0,
-                             flags.get_all("fail-device"));
+                             flags.get_all("fail-device"),
+                             flags.get("trace-spans"),
+                             flags.get_bool("profile"));
   }
   if (flags.has("trace")) {
     return run_trace_file(flags.get("trace"), flags,
                           flags.has("report") ? flags.get("report") : "",
                           flags.get("record-trace"),
-                          flags.get_all("fail-device"));
+                          flags.get_all("fail-device"),
+                          flags.get("trace-spans"),
+                          flags.get_bool("profile"));
   }
   if (flags.has("fail-device")) {
     std::cerr << "error: --fail-device needs --scenario or --trace to know "
@@ -546,6 +618,16 @@ int run(const common::FlagParser& flags) {
   if (flags.has("record-trace")) {
     std::cerr << "error: --record-trace needs --scenario or --trace to "
                  "know what to run\n";
+    return 1;
+  }
+  if (flags.has("trace-spans")) {
+    std::cerr << "error: --trace-spans needs --scenario or --trace to "
+                 "know what to run\n";
+    return 1;
+  }
+  if (flags.get_bool("profile")) {
+    std::cerr << "error: --profile needs --scenario or --trace to know "
+                 "what to run\n";
     return 1;
   }
   if (flags.has("experiment")) {
@@ -691,6 +773,17 @@ int main(int argc, char** argv) {
                "write the run's admit/retire stream as a trace file "
                "(requires --scenario or --trace)",
                "");
+  flags.define("trace-spans",
+               "write the run's execution spans as Chrome/Perfetto "
+               "trace-event JSON (open in ui.perfetto.dev); dynamic "
+               "scenarios only; byte-identical at any --shards "
+               "(docs/observability.md)",
+               "");
+  flags.define_bool("profile",
+                    "time the runtime's coarse phases (wall clock) and "
+                    "print a per-phase table to stderr; with --report also "
+                    "writes <report>_profile.json (excluded from "
+                    "deterministic byte-compares)");
   flags.define("jobs",
                "worker threads for --experiment (0 = all hardware threads; "
                "results are byte-identical for any value)",
